@@ -1,0 +1,222 @@
+//! Ablations of the design choices called out in DESIGN.md.
+//!
+//! Beyond the paper's own figures, this harness quantifies the levers of
+//! the LPRR pipeline:
+//!
+//! 1. rounding repetitions (the paper's "repeat … several times and pick
+//!    the best");
+//! 2. capacity slack (the paper's "conservative capacities" tolerance);
+//! 3. the correlation-estimation mode (§2.1 all-pairs vs §3.2 two-smallest
+//!    adjustment);
+//! 4. the capacity-repair stage (off / eviction-only / with improvement
+//!    sweeps);
+//! 5. pair pruning (the sparse-E assumption of §3.1);
+//! 6. log-history sensitivity (how many queries the estimator needs).
+
+use cca::algo::{
+    repair::repair_capacity_with, round_best_of, solve_relaxation, LprrOptions, RelaxOptions,
+    Strategy,
+};
+use cca::pipeline::{CorrelationMode, Pipeline, PipelineConfig};
+use cca::trace::TraceConfig;
+use cca_bench::{header, quick_mode, ratio, BENCH_SEED};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trace() -> TraceConfig {
+    if quick_mode() {
+        TraceConfig::small()
+    } else {
+        TraceConfig::paper_scaled()
+    }
+}
+
+fn main() {
+    println!("# Ablations of the LPRR pipeline (10 nodes)");
+    let scope = if quick_mode() { 200 } else { 1000 };
+    let mut config = PipelineConfig::new(trace(), 10);
+    config.seed = BENCH_SEED;
+    let pipeline = Pipeline::build(&config);
+    let random = pipeline
+        .evaluate(&Strategy::RandomHash, None)
+        .expect("random placement");
+    let base = random.replay.total_bytes;
+    println!("# random-hash baseline: {base} bytes");
+
+    // 1. Rounding repetitions. Run on the *degenerate* LP-optimal vertex
+    // (identical rows per correlation component): there rounding is
+    // genuinely stochastic and best-of-k picks across node assignments.
+    // The default clustered vertex is near-integral, so these knobs barely
+    // move it — which is itself a finding worth a row.
+    header(
+        "ablation 1: rounding repetitions (best-of-k), degenerate LP vertex",
+        &["repetitions", "lprr_norm(degenerate)", "lprr_norm(clustered)"],
+    );
+    for reps in [1usize, 4, 16, 64] {
+        let degen = LprrOptions {
+            repetitions: reps,
+            relax: RelaxOptions {
+                method: cca::algo::RelaxMethod::CombinatorialVertex,
+                ..RelaxOptions::default()
+            },
+            ..LprrOptions::default()
+        };
+        let clustered = LprrOptions {
+            repetitions: reps,
+            ..LprrOptions::default()
+        };
+        let d = pipeline
+            .evaluate(&Strategy::Lprr(degen), Some(scope))
+            .expect("lprr degenerate");
+        let c = pipeline
+            .evaluate(&Strategy::Lprr(clustered), Some(scope))
+            .expect("lprr clustered");
+        println!(
+            "{reps}\t{}\t{}",
+            ratio(d.replay.total_bytes, base),
+            ratio(c.replay.total_bytes, base)
+        );
+    }
+
+    // 2. Capacity slack under the degenerate vertex, where repair does all
+    // the capacity work and the slack genuinely binds.
+    header(
+        "ablation 2: capacity slack (conservative capacities, paper 2.3)",
+        &["slack", "lprr_norm(degenerate)", "imbalance"],
+    );
+    for slack in [1.0f64, 1.05, 1.2, 1.5] {
+        let opts = LprrOptions {
+            capacity_slack: slack,
+            relax: RelaxOptions {
+                method: cca::algo::RelaxMethod::CombinatorialVertex,
+                ..RelaxOptions::default()
+            },
+            ..LprrOptions::default()
+        };
+        let eval = pipeline
+            .evaluate(&Strategy::Lprr(opts), Some(scope))
+            .expect("lprr");
+        println!(
+            "{slack}\t{}\t{:.2}",
+            ratio(eval.replay.total_bytes, base),
+            eval.imbalance
+        );
+    }
+
+    // 3. Correlation estimation mode.
+    header(
+        "ablation 3: correlation estimation (2.1 all-pairs vs 3.2 two-smallest)",
+        &["mode", "lprr_norm", "pairs_in_problem"],
+    );
+    for (name, mode) in [
+        ("two-smallest", CorrelationMode::TwoSmallest),
+        ("all-pairs", CorrelationMode::AllPairs),
+    ] {
+        let mut c = PipelineConfig::new(trace(), 10);
+        c.seed = BENCH_SEED;
+        c.correlation = mode;
+        let p = Pipeline::build(&c);
+        let r = p.evaluate(&Strategy::RandomHash, None).expect("random");
+        let eval = p.evaluate(&Strategy::lprr(), Some(scope)).expect("lprr");
+        println!(
+            "{name}\t{}\t{}",
+            ratio(eval.replay.total_bytes, r.replay.total_bytes),
+            p.problem.pairs().len()
+        );
+    }
+
+    // 4. Repair stage: round once, then repair with varying effort.
+    header(
+        "ablation 4: capacity repair (moves after rounding the degenerate vertex)",
+        &["improvement_sweeps", "model_cost", "within_capacity", "moves"],
+    );
+    {
+        use cca::algo::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
+        let ranking = importance_ranking(&pipeline.problem);
+        let keep: Vec<_> = ranking.into_iter().take(scope).collect();
+        let sub = scope_subproblem(&pipeline.problem, &keep, false);
+        // The degenerate LP-optimal vertex co-locates whole correlation
+        // components, so every rounding needs real repair — the
+        // configuration where this stage earns its keep.
+        let relax = solve_relaxation(
+            &sub,
+            None,
+            &RelaxOptions {
+                method: cca::algo::RelaxMethod::CombinatorialVertex,
+                ..RelaxOptions::default()
+            },
+        )
+        .expect("relaxation");
+        for sweeps in [0usize, 2, 8] {
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+            let rounded = round_best_of(&relax.fractional, &sub, 16, 1.05, &mut rng);
+            let mut placement = rounded.placement;
+            let outcome = repair_capacity_with(&sub, &mut placement, 1.05, sweeps);
+            let full = compose_with_hashed_rest(&pipeline.problem, &keep, &placement);
+            println!(
+                "{sweeps}\t{:.1}\t{}\t{}",
+                full.communication_cost(&pipeline.problem),
+                outcome.feasible,
+                outcome.moves
+            );
+        }
+    }
+
+    // 6 (run before 5 for pipeline reuse). History sensitivity: how much
+    // query log does the optimizer need before its placement approaches
+    // the full-log quality? Correlations are re-estimated from the first K
+    // queries; replay always uses the full log.
+    header(
+        "ablation 6: log-history sensitivity (queries used for estimation)",
+        &["history_queries", "lprr_norm"],
+    );
+    {
+        use cca::trace::QueryLog;
+        let full = &pipeline.workload.queries;
+        let fractions: &[f64] = if quick_mode() {
+            &[0.05, 0.25, 1.0]
+        } else {
+            &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0]
+        };
+        for &frac in fractions {
+            let k = ((full.len() as f64 * frac) as usize).max(100);
+            let partial = QueryLog {
+                queries: full.queries[..k.min(full.len())].to_vec(),
+                universe: full.universe,
+            };
+            let problem = pipeline.problem_for_log(&partial);
+            let report = cca::algo::place_partial(&problem, scope, &Strategy::lprr())
+                .expect("lprr");
+            let replayed = pipeline.replay(&report.placement);
+            println!(
+                "{}	{}",
+                k.min(full.len()),
+                ratio(replayed.total_bytes, base)
+            );
+        }
+    }
+
+    // 5. Pair pruning (sparse-E assumption).
+    header(
+        "ablation 5: pair pruning (keep only the heaviest pairs)",
+        &["max_pairs", "lprr_norm", "pairs_kept"],
+    );
+    for max_pairs in [0usize, 4000, 2000, 1000, 500] {
+        let mut c = PipelineConfig::new(trace(), 10);
+        c.seed = BENCH_SEED;
+        c.max_pairs = max_pairs;
+        let p = Pipeline::build(&c);
+        let r = p.evaluate(&Strategy::RandomHash, None).expect("random");
+        let eval = p.evaluate(&Strategy::lprr(), Some(scope)).expect("lprr");
+        println!(
+            "{}\t{}\t{}",
+            if max_pairs == 0 {
+                "all".to_string()
+            } else {
+                max_pairs.to_string()
+            },
+            ratio(eval.replay.total_bytes, r.replay.total_bytes),
+            p.problem.pairs().len()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 5 — dominance of the most important keywords.
+//!
+//! Paper: ordering keywords by the §4.2 importance ranking, a small prefix
+//! covers a large share of both the cumulative index size and the
+//! cumulative inter-keyword communication cost, which is what makes
+//! important-object partial optimization viable (§3.1).
+//!
+//! This harness reproduces both cumulative curves over our scaled
+//! vocabulary (25k words vs the paper's 253k; ranks scale by 10×).
+
+use cca::algo::{importance_ranking, ObjectId};
+use cca_bench::{bench_pipeline, header, quick_mode};
+
+fn main() {
+    println!("# Figure 5: dominance of important keywords");
+    let pipeline = bench_pipeline(10);
+    let problem = &pipeline.problem;
+
+    let ranking = importance_ranking(problem);
+    let total_size: f64 = problem.objects().map(|o| problem.size(o) as f64).sum();
+    let total_weight = problem.total_pair_weight();
+
+    // Cumulative curves: a pair's cost is covered once both endpoints are
+    // in the prefix.
+    let mut adj: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); problem.num_objects()];
+    for pair in problem.pairs() {
+        adj[pair.a.index()].push((pair.b, pair.weight()));
+        adj[pair.b.index()].push((pair.a, pair.weight()));
+    }
+
+    header(
+        "cumulative coverage vs importance rank",
+        &["rank", "rank_fraction", "cum_index_size", "cum_comm_cost"],
+    );
+    let checkpoints: Vec<usize> = if quick_mode() {
+        vec![50, 100, 200, 500, 1000, 1500, 1999]
+    } else {
+        vec![250, 500, 1000, 2000, 4000, 6000, 10_000, 15_000, 20_000, 25_000]
+    };
+    let mut included = vec![false; problem.num_objects()];
+    let mut size_acc = 0.0;
+    let mut cost_acc = 0.0;
+    let mut next_cp = 0;
+    for (idx, &o) in ranking.iter().enumerate() {
+        size_acc += problem.size(o) as f64;
+        for &(other, w) in &adj[o.index()] {
+            if included[other.index()] {
+                cost_acc += w;
+            }
+        }
+        included[o.index()] = true;
+        if next_cp < checkpoints.len() && idx + 1 == checkpoints[next_cp].min(ranking.len()) {
+            println!(
+                "{}\t{:.4}\t{:.4}\t{:.4}",
+                idx + 1,
+                (idx + 1) as f64 / ranking.len() as f64,
+                size_acc / total_size,
+                if total_weight > 0.0 {
+                    cost_acc / total_weight
+                } else {
+                    0.0
+                }
+            );
+            next_cp += 1;
+        }
+    }
+    println!();
+    println!(
+        "# paper: at 10000 of 253334 keywords (4%), both curves already cover"
+    );
+    println!("# a large proportion; our rank 1000 of 25000 is the scaled analogue.");
+}

@@ -1,0 +1,92 @@
+//! Figure 6 — communication reduction vs optimization scope.
+//!
+//! Paper: 10 nodes; the most important 1000–10000 keywords (of 253k) are
+//! subject to correlation-aware placement, the rest are hash-placed.
+//! Normalised to random hash placement, LPRR reaches ≈0.22 (78% saving) at
+//! the largest scope and the greedy heuristic ≈0.56 (44% saving).
+//!
+//! Ours sweeps the scaled scopes 100–1000 (of 25k) — the same fractions of
+//! the vocabulary — and prints the normalised series averaged over three
+//! workload seeds (the paper had one fixed real trace; our synthetic
+//! workload's head-phrase index sizes vary across seeds, so averaging
+//! stabilises the series). Costs are *measured* by replaying the full
+//! query log against each placement.
+
+use cca::algo::Strategy;
+use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::trace::TraceConfig;
+use cca_bench::{header, quick_mode};
+
+fn main() {
+    println!("# Figure 6: communication overhead vs optimization scope (10 nodes)");
+    let (scopes, seeds): (&[usize], &[u64]) = if quick_mode() {
+        (&[50, 100, 200, 400], &[1])
+    } else {
+        (&[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000], &[1, 2, 3])
+    };
+
+    let mut pipelines = Vec::new();
+    for &seed in seeds {
+        let mut config = PipelineConfig::new(
+            if quick_mode() {
+                TraceConfig::small()
+            } else {
+                TraceConfig::paper_scaled()
+            },
+            10,
+        );
+        config.seed = seed;
+        pipelines.push(Pipeline::build(&config));
+    }
+    let baselines: Vec<u64> = pipelines
+        .iter()
+        .map(|p| {
+            p.evaluate(&Strategy::RandomHash, None)
+                .expect("random placement is infallible")
+                .replay
+                .total_bytes
+        })
+        .collect();
+    for (i, (&seed, &base)) in seeds.iter().zip(&baselines).enumerate() {
+        println!(
+            "# seed {seed}: {} keywords, {} pairs, random baseline {base} bytes",
+            pipelines[i].problem.num_objects(),
+            pipelines[i].problem.pairs().len()
+        );
+    }
+
+    header(
+        "normalised communication vs scope (mean over seeds)",
+        &["scope", "greedy_norm", "lprr_norm", "lprr_imbalance", "per_seed_lprr"],
+    );
+    for &scope in scopes {
+        let mut greedy_sum = 0.0;
+        let mut lprr_sum = 0.0;
+        let mut imb_sum = 0.0;
+        let mut per_seed = Vec::new();
+        for (p, &base) in pipelines.iter().zip(&baselines) {
+            let greedy = p
+                .evaluate(&Strategy::Greedy, Some(scope))
+                .expect("greedy placement is infallible");
+            let lprr = p
+                .evaluate(&Strategy::lprr(), Some(scope))
+                .expect("lprr placement");
+            greedy_sum += greedy.replay.total_bytes as f64 / base as f64;
+            let l = lprr.replay.total_bytes as f64 / base as f64;
+            lprr_sum += l;
+            imb_sum += lprr.imbalance;
+            per_seed.push(format!("{l:.3}"));
+        }
+        let n = pipelines.len() as f64;
+        println!(
+            "{scope}\t{:.4}\t{:.4}\t{:.2}\t[{}]",
+            greedy_sum / n,
+            lprr_sum / n,
+            imb_sum / n,
+            per_seed.join(",")
+        );
+    }
+    println!();
+    println!("# paper: greedy 0.90->0.56, lprr 0.78->0.22 over the sweep;");
+    println!("# expected shape: both fall with scope, lprr clearly below greedy.");
+}

@@ -1,0 +1,81 @@
+//! Figure 7 — communication reduction vs system size.
+//!
+//! Paper: optimization scope fixed at the most important 10000 keywords;
+//! node count swept 10–100. LPRR achieves 73–86% reduction over random
+//! hashing (normalised 0.14–0.27, best near 40 nodes); the greedy
+//! heuristic is competitive only at small node counts.
+//!
+//! Ours fixes the scaled scope (top 1000 of 25k), sweeps the same node
+//! counts, and averages over three workload seeds. The random baseline is
+//! recomputed per node count, as in the paper.
+
+use cca::algo::Strategy;
+use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::trace::TraceConfig;
+use cca_bench::{header, quick_mode};
+
+fn main() {
+    println!("# Figure 7: communication overhead vs number of nodes (scope = top 1000)");
+    let (node_counts, seeds, scope): (&[usize], &[u64], usize) = if quick_mode() {
+        (&[5, 10, 20], &[1], 200)
+    } else {
+        (&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100], &[1, 2, 3], 1000)
+    };
+
+    let mut pipelines = Vec::new();
+    for &seed in seeds {
+        let mut config = PipelineConfig::new(
+            if quick_mode() {
+                TraceConfig::small()
+            } else {
+                TraceConfig::paper_scaled()
+            },
+            10,
+        );
+        config.seed = seed;
+        pipelines.push(Pipeline::build(&config));
+    }
+
+    header(
+        "normalised communication vs node count (mean over seeds)",
+        &["nodes", "greedy_norm", "lprr_norm", "lprr_imbalance", "per_seed_lprr"],
+    );
+    for &n in node_counts {
+        let mut greedy_sum = 0.0;
+        let mut lprr_sum = 0.0;
+        let mut imb_sum = 0.0;
+        let mut per_seed = Vec::new();
+        for p in &mut pipelines {
+            p.renode(n);
+            let base = p
+                .evaluate(&Strategy::RandomHash, None)
+                .expect("random placement is infallible")
+                .replay
+                .total_bytes;
+            let greedy = p
+                .evaluate(&Strategy::Greedy, Some(scope))
+                .expect("greedy placement is infallible");
+            let lprr = p
+                .evaluate(&Strategy::lprr(), Some(scope))
+                .expect("lprr placement");
+            greedy_sum += greedy.replay.total_bytes as f64 / base as f64;
+            let l = lprr.replay.total_bytes as f64 / base as f64;
+            lprr_sum += l;
+            imb_sum += lprr.imbalance;
+            per_seed.push(format!("{l:.3}"));
+        }
+        let s = pipelines.len() as f64;
+        println!(
+            "{n}\t{:.4}\t{:.4}\t{:.2}\t[{}]",
+            greedy_sum / s,
+            lprr_sum / s,
+            imb_sum / s,
+            per_seed.join(",")
+        );
+    }
+    println!();
+    println!("# paper: lprr 0.27 -> 0.14 (40 nodes) -> 0.27; greedy best at few nodes.");
+    println!("# expected shape here: lprr well below greedy throughout; savings");
+    println!("# diminish as nodes grow (per-node capacity shrinks). See");
+    println!("# EXPERIMENTS.md for the discussion of the paper's small-n dip.");
+}

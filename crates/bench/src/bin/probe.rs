@@ -1,0 +1,25 @@
+use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::trace::TraceConfig;
+use cca_core::*;
+fn main() {
+    let mut cfg = PipelineConfig::new(TraceConfig::paper_scaled(), 10);
+    cfg.seed = 1;
+    let p = Pipeline::build(&cfg);
+    let base = p.evaluate(&Strategy::RandomHash, None).unwrap().replay.total_bytes;
+    // Oracle: all top-1000 scope words on node 0 (ignores capacity), rest hashed.
+    let ranking = importance_ranking(&p.problem);
+    let scope: std::collections::HashSet<_> = ranking.iter().copied().take(1000).collect();
+    let mut assignment: Vec<u32> = p.problem.objects()
+        .map(|o| if scope.contains(&o) { 0 } else { cca_hash::hash_placement(p.problem.name(o), 10) as u32 })
+        .collect();
+    let oracle = Placement::new(assignment.clone(), 10);
+    let ob = p.replay(&oracle).total_bytes;
+    println!("oracle scope-on-one-node: {:.4} of random", ob as f64 / base as f64);
+    // Oracle: ALL keywords on node 0 (zero comm floor = 0 presumably)
+    for a in assignment.iter_mut() { *a = 0; }
+    let all_one = Placement::new(assignment, 10);
+    println!("all-on-one-node: {:.4}", p.replay(&all_one).total_bytes as f64 / base as f64);
+    // full-scope lprr (scope=all 25000)
+    let full = p.evaluate(&Strategy::lprr(), None).unwrap();
+    println!("lprr full scope: {:.4} imb {:.2}", full.replay.total_bytes as f64 / base as f64, full.imbalance);
+}

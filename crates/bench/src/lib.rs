@@ -1,0 +1,82 @@
+//! Shared harness code for the figure-regeneration benches.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper (see DESIGN.md's experiment index) and prints the same series
+//! the paper plots, as TSV, so `cargo bench` output can be diffed across
+//! runs. This crate holds the common plumbing: canonical pipeline
+//! construction and table formatting.
+
+use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::trace::TraceConfig;
+
+/// Canonical seed for every figure harness — results in bench output are
+/// deterministic.
+pub const BENCH_SEED: u64 = 20080617; // ICDCS 2008 in Beijing
+
+/// The standard paper-scaled pipeline used by Figures 5–7 (10 nodes unless
+/// the sweep re-targets it).
+#[must_use]
+pub fn paper_pipeline(num_nodes: usize) -> Pipeline {
+    let mut config = PipelineConfig::new(TraceConfig::paper_scaled(), num_nodes);
+    config.seed = BENCH_SEED;
+    Pipeline::build(&config)
+}
+
+/// A reduced pipeline for quick smoke runs (`CCA_BENCH_QUICK=1`).
+#[must_use]
+pub fn quick_pipeline(num_nodes: usize) -> Pipeline {
+    let mut config = PipelineConfig::new(TraceConfig::small(), num_nodes);
+    config.seed = BENCH_SEED;
+    Pipeline::build(&config)
+}
+
+/// Returns `true` when the environment asks for a quick smoke run.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("CCA_BENCH_QUICK").is_some()
+}
+
+/// Builds the pipeline honouring quick mode.
+#[must_use]
+pub fn bench_pipeline(num_nodes: usize) -> Pipeline {
+    if quick_mode() {
+        quick_pipeline(num_nodes)
+    } else {
+        paper_pipeline(num_nodes)
+    }
+}
+
+/// Prints a TSV header row.
+pub fn header(title: &str, columns: &[&str]) {
+    println!();
+    println!("## {title}");
+    println!("{}", columns.join("\t"));
+}
+
+/// Formats a ratio as a fixed-precision string.
+#[must_use]
+pub fn ratio(n: u64, d: u64) -> String {
+    if d == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.4}", n as f64 / d as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_builds() {
+        let p = quick_pipeline(3);
+        assert!(p.problem.num_objects() > 0);
+        assert_eq!(p.problem.num_nodes(), 3);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(1, 2), "0.5000");
+        assert_eq!(ratio(1, 0), "n/a");
+    }
+}

@@ -1,0 +1,687 @@
+//! Migration-aware re-placement.
+//!
+//! The paper argues correlations are stable enough that a placement can be
+//! computed offline and kept for a long time (Fig 2B). Eventually, though,
+//! drift accumulates and a live system must *move* from its current
+//! placement to a better one — and moving an index costs exactly the bytes
+//! the placement was built to save. This module provides the operations a
+//! deployment needs:
+//!
+//! * [`migration_bytes`] — the one-time cost of switching placements;
+//! * [`reconcile`] — move toward a desired placement under a migration
+//!   budget, applying the most valuable moves first;
+//! * [`improve_in_place`] — local search from the current placement where
+//!   every move must pay for itself against an amortised migration price;
+//! * [`drain_node`] — evacuate a node for decommission or failure
+//!   recovery, keeping correlation clusters together.
+
+use crate::placement::Placement;
+use crate::problem::{CcaProblem, ObjectId};
+
+/// Options for [`reconcile`] and [`improve_in_place`].
+#[derive(Debug, Clone, Copy)]
+pub struct MigrateOptions {
+    /// Capacity slack applied to every dimension during moves.
+    pub capacity_slack: f64,
+    /// Maximum improvement sweeps.
+    pub max_sweeps: usize,
+    /// Amortised migration price in objective units per byte moved: a move
+    /// of object `i` must reduce the communication cost by more than
+    /// `migration_price_per_byte * s(i)` to be taken by
+    /// [`improve_in_place`].
+    pub migration_price_per_byte: f64,
+    /// When set, [`reconcile`] also applies groups whose model gain is
+    /// zero or negative once every paying group has been applied, so an
+    /// unlimited budget converges to the desired placement. Off by
+    /// default: the pair model slightly mispredicts replayed traffic, and
+    /// neutral moves are usually node-relabelling noise not worth their
+    /// bytes.
+    pub apply_nonpositive_gains: bool,
+}
+
+impl Default for MigrateOptions {
+    fn default() -> Self {
+        MigrateOptions {
+            capacity_slack: 1.05,
+            max_sweeps: 4,
+            migration_price_per_byte: 0.0,
+            apply_nonpositive_gains: false,
+        }
+    }
+}
+
+/// Outcome of a migration pass.
+#[derive(Debug, Clone)]
+pub struct MigrationOutcome {
+    /// The resulting placement.
+    pub placement: Placement,
+    /// Its communication cost.
+    pub comm_cost: f64,
+    /// Total bytes moved relative to the starting placement.
+    pub migrated_bytes: u64,
+    /// Number of objects moved.
+    pub moves: usize,
+}
+
+/// Bytes that must be shipped to switch from `from` to `to`: the sizes of
+/// all objects whose node changes.
+///
+/// ```
+/// use cca_core::{migration_bytes, CcaProblem, Placement};
+/// let mut b = CcaProblem::builder();
+/// b.add_object("a", 100);
+/// b.add_object("b", 50);
+/// let problem = b.uniform_capacities(2, 200).build().unwrap();
+/// let from = Placement::new(vec![0, 0], 2);
+/// let to = Placement::new(vec![0, 1], 2);
+/// assert_eq!(migration_bytes(&problem, &from, &to), 50);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the placements or problem disagree on dimensions.
+#[must_use]
+pub fn migration_bytes(problem: &CcaProblem, from: &Placement, to: &Placement) -> u64 {
+    assert_eq!(from.num_objects(), problem.num_objects());
+    assert_eq!(to.num_objects(), problem.num_objects());
+    problem
+        .objects()
+        .filter(|&o| from.node_of(o) != to.node_of(o))
+        .map(|o| problem.size(o))
+        .sum()
+}
+
+/// Tracks per-node, per-dimension loads for incremental feasibility
+/// checks.
+struct Loads {
+    loads: Vec<Vec<f64>>,
+    limits: Vec<Vec<f64>>,
+    demands: Vec<Vec<f64>>,
+}
+
+impl Loads {
+    fn new(problem: &CcaProblem, placement: &Placement, slack: f64) -> Self {
+        let n = problem.num_nodes();
+        let dims = 1 + problem.resources().len();
+        let limits: Vec<Vec<f64>> = (0..n)
+            .map(|k| {
+                let mut v = vec![problem.capacity(k) as f64 * slack];
+                for res in problem.resources() {
+                    v.push(res.capacity(k) as f64 * slack);
+                }
+                v
+            })
+            .collect();
+        let demands: Vec<Vec<f64>> =
+            problem.objects().map(|o| problem.demand_vector(o)).collect();
+        let mut loads = vec![vec![0.0; dims]; n];
+        for o in problem.objects() {
+            let k = placement.node_of(o);
+            for (dst, d) in loads[k].iter_mut().zip(&demands[o.index()]) {
+                *dst += d;
+            }
+        }
+        Loads {
+            loads,
+            limits,
+            demands,
+        }
+    }
+
+    fn fits(&self, node: usize, obj: ObjectId) -> bool {
+        self.loads[node]
+            .iter()
+            .zip(&self.demands[obj.index()])
+            .zip(&self.limits[node])
+            .all(|((&l, &d), &lim)| l + d <= lim + 1e-9)
+    }
+
+    fn apply(&mut self, obj: ObjectId, src: usize, dst: usize) {
+        for dim in 0..self.demands[obj.index()].len() {
+            let d = self.demands[obj.index()][dim];
+            self.loads[src][dim] -= d;
+            self.loads[dst][dim] += d;
+        }
+    }
+}
+
+/// Communication-cost change of moving `i` from its current node to
+/// `target` under `placement`.
+fn move_delta(
+    adj: &[Vec<(ObjectId, f64)>],
+    placement: &Placement,
+    i: ObjectId,
+    target: usize,
+) -> f64 {
+    let src = placement.node_of(i);
+    let mut delta = 0.0;
+    for &(other, w) in &adj[i.index()] {
+        let on = placement.node_of(other);
+        if on == src {
+            delta += w;
+        } else if on == target {
+            delta -= w;
+        }
+    }
+    delta
+}
+
+fn adjacency(problem: &CcaProblem) -> Vec<Vec<(ObjectId, f64)>> {
+    let mut adj: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); problem.num_objects()];
+    for pair in problem.pairs() {
+        adj[pair.a.index()].push((pair.b, pair.weight()));
+        adj[pair.b.index()].push((pair.a, pair.weight()));
+    }
+    adj
+}
+
+/// Moves from `current` toward `desired` without exceeding
+/// `budget_bytes` of migration traffic.
+///
+/// Objects whose node differs between the placements are grouped into
+/// correlated components sharing a desired target (a cluster usually has
+/// to move *together* for the move to pay off) and applied in order of
+/// communication-cost gain per migrated byte, re-evaluated over up to
+/// `options.max_sweeps` sweeps. By default only groups with a positive
+/// model gain move; set
+/// [`MigrateOptions::apply_nonpositive_gains`] to keep going while budget
+/// remains, which converges to `desired` (up to capacity blocking).
+///
+/// # Panics
+///
+/// Panics if the placements or problem disagree on dimensions.
+#[must_use]
+pub fn reconcile(
+    problem: &CcaProblem,
+    current: &Placement,
+    desired: &Placement,
+    budget_bytes: u64,
+    options: &MigrateOptions,
+) -> MigrationOutcome {
+    assert_eq!(desired.num_nodes(), current.num_nodes());
+    let adj = adjacency(problem);
+    let mut placement = current.clone();
+    let mut loads = Loads::new(problem, &placement, options.capacity_slack);
+    let mut budget = budget_bytes;
+    let mut moves = 0usize;
+    let mut migrated = 0u64;
+
+    for _ in 0..options.max_sweeps.max(1) {
+        // Pending objects, grouped into connected components that share a
+        // desired target: a correlated group often has to move *together*
+        // for the move to pay off, so gains are evaluated per component.
+        let pending: Vec<ObjectId> = problem
+            .objects()
+            .filter(|&o| placement.node_of(o) != desired.node_of(o))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let pending_set: std::collections::HashSet<ObjectId> = pending.iter().copied().collect();
+        let mut visited: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+        let mut candidates: Vec<(f64, u64, Vec<ObjectId>, usize)> = Vec::new();
+        for &start in &pending {
+            if visited.contains(&start) {
+                continue;
+            }
+            let target = desired.node_of(start);
+            // Flood over pending neighbours with the same target.
+            let mut group = Vec::new();
+            let mut stack = vec![start];
+            visited.insert(start);
+            while let Some(o) = stack.pop() {
+                group.push(o);
+                for &(other, _) in &adj[o.index()] {
+                    if pending_set.contains(&other)
+                        && !visited.contains(&other)
+                        && desired.node_of(other) == target
+                    {
+                        visited.insert(other);
+                        stack.push(other);
+                    }
+                }
+            }
+            // Gain of moving the whole group to the target at once.
+            let in_group: std::collections::HashSet<ObjectId> = group.iter().copied().collect();
+            let mut gain = 0.0;
+            for &o in &group {
+                let src = placement.node_of(o);
+                for &(other, w) in &adj[o.index()] {
+                    if in_group.contains(&other) {
+                        // Internal edge: contributes only if the members
+                        // are currently split (they will be together).
+                        if placement.node_of(other) != src {
+                            gain += w / 2.0; // counted from both endpoints
+                        }
+                        continue;
+                    }
+                    let on = placement.node_of(other);
+                    if on == src {
+                        gain -= w; // leaves a current partner behind
+                    } else if on == target {
+                        gain += w; // joins a partner at the target
+                    }
+                }
+            }
+            let bytes: u64 = group.iter().map(|&o| problem.size(o)).sum();
+            if gain > 1e-12 || options.apply_nonpositive_gains {
+                candidates.push((gain / (bytes.max(1)) as f64, bytes, group, target));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_unstable_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.2[0].cmp(&b.2[0]))
+        });
+        let mut any = false;
+        for (_, bytes, group, target) in candidates {
+            if bytes > budget {
+                continue;
+            }
+            // Capacity check for the whole group landing on the target
+            // (members already there contribute nothing; none are, by
+            // construction of `pending`).
+            let fits_all = {
+                let mut extra = vec![0.0; 1 + problem.resources().len()];
+                for &o in &group {
+                    for (e, d) in extra.iter_mut().zip(problem.demand_vector(o)) {
+                        *e += d;
+                    }
+                }
+                loads.loads[target]
+                    .iter()
+                    .zip(&extra)
+                    .zip(&loads.limits[target])
+                    .all(|((&l, &e), &lim)| l + e <= lim + 1e-9)
+            };
+            if !fits_all {
+                continue;
+            }
+            for &o in &group {
+                let src = placement.node_of(o);
+                loads.apply(o, src, target);
+                placement.assign(o, target);
+                migrated += problem.size(o);
+                moves += 1;
+            }
+            budget -= bytes;
+            any = true;
+        }
+        if !any {
+            break;
+        }
+    }
+
+    MigrationOutcome {
+        comm_cost: placement.communication_cost(problem),
+        placement,
+        migrated_bytes: migrated,
+        moves,
+    }
+}
+
+/// Local-search improvement from `current` where each move must pay for
+/// its own migration: object `i` moves to node `k` only when the
+/// communication-cost reduction exceeds
+/// `options.migration_price_per_byte * s(i)`.
+///
+/// With a price of 0 this is plain capacity-respecting local search; with
+/// a high price the placement freezes — exactly the knob an operator turns
+/// as confidence in the new statistics grows.
+///
+/// # Panics
+///
+/// Panics if the placement and problem disagree on dimensions.
+#[must_use]
+pub fn improve_in_place(
+    problem: &CcaProblem,
+    current: &Placement,
+    options: &MigrateOptions,
+) -> MigrationOutcome {
+    let adj = adjacency(problem);
+    let mut placement = current.clone();
+    let mut loads = Loads::new(problem, &placement, options.capacity_slack);
+    let n = problem.num_nodes();
+    let mut moves = 0usize;
+    let mut migrated = 0u64;
+
+    for _ in 0..options.max_sweeps.max(1) {
+        let mut improved = false;
+        for o in problem.objects() {
+            let src = placement.node_of(o);
+            let price = options.migration_price_per_byte * problem.size(o) as f64;
+            let mut best: Option<(f64, usize)> = None;
+            for k in 0..n {
+                if k == src || !loads.fits(k, o) {
+                    continue;
+                }
+                let delta = move_delta(&adj, &placement, o, k);
+                // Must beat the migration price strictly.
+                if delta + price < -1e-12 && best.is_none_or(|(bd, _)| delta < bd) {
+                    best = Some((delta, k));
+                }
+            }
+            if let Some((_, k)) = best {
+                loads.apply(o, src, k);
+                placement.assign(o, k);
+                migrated += problem.size(o);
+                moves += 1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    MigrationOutcome {
+        comm_cost: placement.communication_cost(problem),
+        placement,
+        migrated_bytes: migrated,
+        moves,
+    }
+}
+
+/// Evacuates every object from `node` (decommission, maintenance, or
+/// failure recovery): each of the node's correlation clusters is re-homed
+/// to the surviving node with the strongest pull (existing partners) that
+/// fits it, largest clusters first; stragglers move object by object.
+///
+/// Returns `None` when the surviving capacity (with
+/// `options.capacity_slack`) cannot absorb the node's objects.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range, the placement has fewer than two
+/// nodes, or dimensions disagree.
+#[must_use]
+pub fn drain_node(
+    problem: &CcaProblem,
+    current: &Placement,
+    node: usize,
+    options: &MigrateOptions,
+) -> Option<MigrationOutcome> {
+    assert!(node < current.num_nodes(), "node {node} out of range");
+    assert!(current.num_nodes() > 1, "cannot drain the only node");
+    let adj = adjacency(problem);
+    let mut placement = current.clone();
+    let mut loads = Loads::new(problem, &placement, options.capacity_slack);
+    // The drained node accepts nothing.
+    for lim in &mut loads.limits[node] {
+        *lim = f64::NEG_INFINITY;
+    }
+    let mut moves = 0usize;
+    let mut migrated = 0u64;
+
+    // Correlation clusters on the drained node, largest first.
+    let evacuees: Vec<ObjectId> = problem
+        .objects()
+        .filter(|&o| placement.node_of(o) == node)
+        .collect();
+    let evac_set: std::collections::HashSet<ObjectId> = evacuees.iter().copied().collect();
+    let mut visited: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+    let mut groups: Vec<Vec<ObjectId>> = Vec::new();
+    for &start in &evacuees {
+        if visited.contains(&start) {
+            continue;
+        }
+        let mut group = Vec::new();
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(o) = stack.pop() {
+            group.push(o);
+            for &(other, _) in &adj[o.index()] {
+                if evac_set.contains(&other) && !visited.contains(&other) {
+                    visited.insert(other);
+                    stack.push(other);
+                }
+            }
+        }
+        groups.push(group);
+    }
+    groups.sort_unstable_by_key(|g| {
+        std::cmp::Reverse(g.iter().map(|&o| problem.size(o)).sum::<u64>())
+    });
+
+    let n = problem.num_nodes();
+    for group in groups {
+        // Try the whole group on the node with the strongest pull.
+        let mut demand = vec![0.0; 1 + problem.resources().len()];
+        for &o in &group {
+            for (d, v) in demand.iter_mut().zip(problem.demand_vector(o)) {
+                *d += v;
+            }
+        }
+        let mut join = vec![0.0f64; n];
+        for &o in &group {
+            for &(other, w) in &adj[o.index()] {
+                if !group.contains(&other) {
+                    let on = placement.node_of(other);
+                    if on != node {
+                        join[on] += w;
+                    }
+                }
+            }
+        }
+        let target = (0..n)
+            .filter(|&k| k != node)
+            .filter(|&k| {
+                loads.loads[k]
+                    .iter()
+                    .zip(&demand)
+                    .zip(&loads.limits[k])
+                    .all(|((&l, &d), &lim)| l + d <= lim + 1e-9)
+            })
+            .max_by(|&a, &b| {
+                join[a]
+                    .partial_cmp(&join[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            });
+        if let Some(k) = target {
+            for &o in &group {
+                loads.apply(o, node, k);
+                placement.assign(o, k);
+                migrated += problem.size(o);
+                moves += 1;
+            }
+            continue;
+        }
+        // Fragmented: per-object fallback, cheapest Δcost first; give up
+        // (returning None) when an object fits nowhere.
+        for &o in &group {
+            let target = (0..n)
+                .filter(|&k| k != node && loads.fits(k, o))
+                .min_by(|&a, &b| {
+                    move_delta(&adj, &placement, o, a)
+                        .partial_cmp(&move_delta(&adj, &placement, o, b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })?;
+            loads.apply(o, node, target);
+            placement.assign(o, target);
+            migrated += problem.size(o);
+            moves += 1;
+        }
+    }
+
+    Some(MigrationOutcome {
+        comm_cost: placement.communication_cost(problem),
+        placement,
+        migrated_bytes: migrated,
+        moves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> CcaProblem {
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..6).map(|i| b.add_object(format!("o{i}"), 10)).collect();
+        for g in 0..2 {
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    b.add_pair(o[g * 3 + i], o[g * 3 + j], 0.9, 10.0).unwrap();
+                }
+            }
+        }
+        b.uniform_capacities(2, 40).build().unwrap()
+    }
+
+    #[test]
+    fn migration_bytes_counts_changed_objects() {
+        let p = problem();
+        let a = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let b = Placement::new(vec![0, 0, 1, 1, 1, 0], 2);
+        assert_eq!(migration_bytes(&p, &a, &a), 0);
+        assert_eq!(migration_bytes(&p, &a, &b), 20);
+    }
+
+    #[test]
+    fn reconcile_with_zero_budget_is_identity() {
+        let p = problem();
+        let scattered = Placement::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let desired = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let out = reconcile(&p, &scattered, &desired, 0, &MigrateOptions::default());
+        assert_eq!(out.placement, scattered);
+        assert_eq!(out.migrated_bytes, 0);
+        assert_eq!(out.moves, 0);
+    }
+
+    #[test]
+    fn reconcile_with_ample_budget_reaches_desired_cost() {
+        let p = problem();
+        let scattered = Placement::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let desired = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let out = reconcile(&p, &scattered, &desired, u64::MAX, &MigrateOptions::default());
+        assert_eq!(out.comm_cost, desired.communication_cost(&p));
+        assert_eq!(out.comm_cost, 0.0);
+        assert!(out.migrated_bytes <= migration_bytes(&p, &scattered, &desired));
+        assert!(out.placement.within_all_capacities(&p, 1.05 + 1e-9));
+    }
+
+    #[test]
+    fn reconcile_respects_budget_and_prioritises_gain() {
+        let p = problem();
+        let scattered = Placement::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let desired = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        // Budget for exactly one object move.
+        let out = reconcile(&p, &scattered, &desired, 10, &MigrateOptions::default());
+        assert!(out.migrated_bytes <= 10);
+        assert!(out.moves <= 1);
+        // Any applied move must improve cost.
+        assert!(out.comm_cost <= scattered.communication_cost(&p));
+    }
+
+    #[test]
+    fn improve_in_place_fixes_obvious_misplacements() {
+        let p = problem();
+        // o2 stranded away from its triangle.
+        let start = Placement::new(vec![0, 0, 1, 1, 1, 1], 2);
+        let out = improve_in_place(&p, &start, &MigrateOptions::default());
+        assert_eq!(out.placement.node_of(crate::problem::ObjectId(2)), 0);
+        assert_eq!(out.comm_cost, 0.0);
+        assert_eq!(out.migrated_bytes, 10);
+    }
+
+    #[test]
+    fn migration_price_freezes_marginal_moves() {
+        let p = problem();
+        let start = Placement::new(vec![0, 0, 1, 1, 1, 1], 2);
+        // Gain of moving o2 home is 2 * 9 = 18; price above that freezes.
+        let expensive = MigrateOptions {
+            migration_price_per_byte: 2.0, // 2.0 * 10 bytes = 20 > 18
+            ..MigrateOptions::default()
+        };
+        let out = improve_in_place(&p, &start, &expensive);
+        assert_eq!(out.moves, 0);
+        assert_eq!(out.placement, start);
+
+        let cheap = MigrateOptions {
+            migration_price_per_byte: 1.0, // 10 < 18: worth it
+            ..MigrateOptions::default()
+        };
+        let out = improve_in_place(&p, &start, &cheap);
+        assert!(out.moves >= 1);
+        assert_eq!(out.comm_cost, 0.0);
+    }
+
+    #[test]
+    fn capacity_blocks_moves() {
+        let mut b = CcaProblem::builder();
+        let a = b.add_object("a", 10);
+        let c = b.add_object("b", 10);
+        b.add_pair(a, c, 1.0, 5.0).unwrap();
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        let start = Placement::new(vec![0, 1], 2);
+        let desired = Placement::new(vec![0, 0], 2); // infeasible target
+        let out = reconcile(&p, &start, &desired, u64::MAX, &MigrateOptions {
+            capacity_slack: 1.0,
+            ..MigrateOptions::default()
+        });
+        assert_eq!(out.placement, start, "capacity must block the move");
+    }
+
+    #[test]
+    fn drain_moves_clusters_wholesale() {
+        let p = problem();
+        let start = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        // Need a third node so draining node 0 has somewhere to go.
+        let p3 = p.with_capacities(vec![40, 40, 40]);
+        let start3 = Placement::new(vec![0, 0, 0, 1, 1, 1], 3);
+        let out = drain_node(&p3, &start3, 0, &MigrateOptions::default()).expect("drainable");
+        for i in 0..3u32 {
+            assert_ne!(out.placement.node_of(crate::problem::ObjectId(i)), 0);
+        }
+        // The triangle stays together: zero cost.
+        assert_eq!(out.comm_cost, 0.0);
+        assert_eq!(out.migrated_bytes, 30);
+        assert_eq!(out.moves, 3);
+        let _ = start;
+    }
+
+    #[test]
+    fn drain_prefers_nodes_with_partners() {
+        // Object 0 on node 0, its partners on node 2 of 3: drain should
+        // send it to node 2, not node 1.
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..3).map(|i| b.add_object(format!("o{i}"), 5)).collect();
+        b.add_pair(o[0], o[1], 0.9, 10.0).unwrap();
+        b.add_pair(o[0], o[2], 0.9, 10.0).unwrap();
+        let p = b.uniform_capacities(3, 20).build().unwrap();
+        let start = Placement::new(vec![0, 2, 2], 3);
+        let out = drain_node(&p, &start, 0, &MigrateOptions::default()).expect("drainable");
+        assert_eq!(out.placement.node_of(o[0]), 2);
+        assert_eq!(out.comm_cost, 0.0);
+    }
+
+    #[test]
+    fn drain_fails_when_capacity_missing() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 10);
+        b.add_object("b", 10);
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        let start = Placement::new(vec![0, 1], 2);
+        // Node 1 is full (10/10): draining node 0 cannot fit `a` anywhere.
+        assert!(drain_node(&p, &start, 0, &MigrateOptions {
+            capacity_slack: 1.0,
+            ..MigrateOptions::default()
+        })
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drain the only node")]
+    fn drain_single_node_panics() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        let p = b.uniform_capacities(1, 10).build().unwrap();
+        let start = Placement::new(vec![0], 1);
+        let _ = drain_node(&p, &start, 0, &MigrateOptions::default());
+    }
+}

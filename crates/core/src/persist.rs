@@ -1,0 +1,241 @@
+//! Plain-text persistence for placements.
+//!
+//! Format (`# cca-placement v1`): one `object-name<TAB>node` line per
+//! object, in object-id order. Names make the file robust against object
+//! reordering between the writing and reading problem instances: loading
+//! matches by name, not by position.
+
+use crate::placement::Placement;
+use crate::problem::CcaProblem;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error from [`read_placement`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a valid v1 placement for the given problem.
+    Format {
+        /// 1-based line number (0 for whole-file problems).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serialises `placement` against `problem` (names come from the problem).
+///
+/// # Panics
+///
+/// Panics if the dimensions disagree.
+#[must_use]
+pub fn format_placement(problem: &CcaProblem, placement: &Placement) -> String {
+    assert_eq!(placement.num_objects(), problem.num_objects());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# cca-placement v1 nodes={} objects={}",
+        placement.num_nodes(),
+        placement.num_objects()
+    );
+    for o in problem.objects() {
+        let _ = writeln!(out, "{}\t{}", problem.name(o), placement.node_of(o));
+    }
+    out
+}
+
+/// Writes a placement in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_placement<W: Write>(
+    mut writer: W,
+    problem: &CcaProblem,
+    placement: &Placement,
+) -> Result<(), PersistError> {
+    writer.write_all(format_placement(problem, placement).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a v1 placement and matches it against `problem` by object name.
+///
+/// # Errors
+///
+/// Fails on malformed input, unknown or missing object names, duplicate
+/// names (in the file or the problem), or nodes out of range.
+pub fn read_placement<R: Read>(
+    reader: R,
+    problem: &CcaProblem,
+) -> Result<Placement, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.ok_or(PersistError::Format {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    let rest = header
+        .strip_prefix("# cca-placement v1 nodes=")
+        .ok_or(PersistError::Format {
+            line: 1,
+            message: format!("bad header {header:?}"),
+        })?;
+    let nodes: usize = rest
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .ok_or(PersistError::Format {
+            line: 1,
+            message: format!("bad node count in header {header:?}"),
+        })?;
+
+    let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(problem.num_objects());
+    for o in problem.objects() {
+        if by_name.insert(problem.name(o), o.index()).is_some() {
+            return Err(PersistError::Format {
+                line: 0,
+                message: format!(
+                    "problem has duplicate object name {:?}; name-keyed loading is ambiguous",
+                    problem.name(o)
+                ),
+            });
+        }
+    }
+
+    let mut assignment = vec![u32::MAX; problem.num_objects()];
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (name, node_str) = trimmed.rsplit_once('\t').ok_or(PersistError::Format {
+            line: line_no,
+            message: "expected name<TAB>node".into(),
+        })?;
+        let node: usize = node_str.trim().parse().map_err(|_| PersistError::Format {
+            line: line_no,
+            message: format!("invalid node {node_str:?}"),
+        })?;
+        if node >= nodes {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("node {node} out of range (< {nodes})"),
+            });
+        }
+        let &idx = by_name.get(name).ok_or(PersistError::Format {
+            line: line_no,
+            message: format!("unknown object {name:?}"),
+        })?;
+        if assignment[idx] != u32::MAX {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("object {name:?} assigned twice"),
+            });
+        }
+        assignment[idx] = node as u32;
+    }
+    if let Some(missing) = assignment.iter().position(|&a| a == u32::MAX) {
+        return Err(PersistError::Format {
+            line: 0,
+            message: format!(
+                "object {:?} has no assignment",
+                problem.name(crate::problem::ObjectId(missing as u32))
+            ),
+        });
+    }
+    Ok(Placement::new(assignment, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_hash_placement;
+
+    fn problem() -> CcaProblem {
+        let mut b = CcaProblem::builder();
+        for i in 0..8 {
+            b.add_object(format!("kw{i}"), 5 + i as u64);
+        }
+        b.uniform_capacities(3, 100).build().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = problem();
+        let placement = random_hash_placement(&p);
+        let text = format_placement(&p, &placement);
+        let parsed = read_placement(text.as_bytes(), &p).expect("round trip");
+        assert_eq!(parsed, placement);
+    }
+
+    #[test]
+    fn name_keyed_loading_survives_reordering() {
+        let p = problem();
+        let placement = random_hash_placement(&p);
+        let mut lines: Vec<String> = format_placement(&p, &placement)
+            .lines()
+            .map(String::from)
+            .collect();
+        lines[1..].reverse(); // shuffle data lines, keep header
+        let text = lines.join("\n");
+        let parsed = read_placement(text.as_bytes(), &p).expect("reordered parse");
+        assert_eq!(parsed, placement);
+    }
+
+    #[test]
+    fn writer_round_trip() {
+        let p = problem();
+        let placement = random_hash_placement(&p);
+        let mut buf = Vec::new();
+        write_placement(&mut buf, &p, &placement).expect("write");
+        assert_eq!(read_placement(buf.as_slice(), &p).unwrap(), placement);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let p = problem();
+        for text in [
+            "",
+            "not a header\nkw0\t1\n",
+            "# cca-placement v1 nodes=3 objects=8\nkw0 1\n", // no tab
+            "# cca-placement v1 nodes=3 objects=8\nkw0\tfour\n",
+            "# cca-placement v1 nodes=3 objects=8\nkw0\t9\n", // node range
+            "# cca-placement v1 nodes=3 objects=8\nmystery\t1\n",
+        ] {
+            assert!(read_placement(text.as_bytes(), &p).is_err(), "{text:?}");
+        }
+        // Missing objects.
+        let partial = "# cca-placement v1 nodes=3 objects=8\nkw0\t1\n";
+        assert!(read_placement(partial.as_bytes(), &p).is_err());
+        // Duplicate assignment.
+        let dup = "# cca-placement v1 nodes=3 objects=8\nkw0\t1\nkw0\t2\n";
+        assert!(read_placement(dup.as_bytes(), &p).is_err());
+    }
+}

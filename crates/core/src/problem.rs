@@ -1,0 +1,560 @@
+//! The Capacity-Constrained Assignment (CCA) problem (paper §2.1).
+
+use crate::resources::{Resource, ResourceError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a data object (index into the problem's object table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Index form of the identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// A correlated object pair with its correlation `r(i,j)` and communication
+/// cost `w(i,j)`. The pair contributes `r·w` to the objective when its
+/// objects are placed on different nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pair {
+    /// Smaller-id endpoint.
+    pub a: ObjectId,
+    /// Larger-id endpoint.
+    pub b: ObjectId,
+    /// Correlation `r(i,j)`: probability the objects are requested together
+    /// (possibly adjusted per §3.2 for >2-object operations).
+    pub correlation: f64,
+    /// Communication overhead `w(i,j)` incurred when the pair is requested
+    /// across nodes.
+    pub comm_cost: f64,
+}
+
+impl Pair {
+    /// The pair's objective weight `r(i,j) · w(i,j)`.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.correlation * self.comm_cost
+    }
+}
+
+/// Error produced when assembling an invalid [`CcaProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemError {
+    /// A pair references an object id outside the object table.
+    UnknownObject(ObjectId),
+    /// A pair connects an object to itself.
+    SelfPair(ObjectId),
+    /// A numeric field is negative or non-finite.
+    InvalidNumber(String),
+    /// The problem has no nodes.
+    NoNodes,
+    /// A secondary resource's vectors do not match the problem dimensions.
+    Resource(ResourceError),
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::UnknownObject(o) => write!(f, "pair references unknown object {o}"),
+            ProblemError::SelfPair(o) => write!(f, "pair connects {o} to itself"),
+            ProblemError::InvalidNumber(msg) => write!(f, "invalid number: {msg}"),
+            ProblemError::NoNodes => f.write_str("problem has no nodes"),
+            ProblemError::Resource(e) => write!(f, "invalid resource: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// An instance of the CCA problem: objects with sizes, nodes with
+/// capacities, and correlated pairs (paper Figure 3).
+///
+/// Build instances with [`CcaProblem::builder`]:
+///
+/// ```
+/// use cca_core::CcaProblem;
+///
+/// # fn main() -> Result<(), cca_core::ProblemError> {
+/// let mut b = CcaProblem::builder();
+/// let car = b.add_object("car", 100);
+/// let dealer = b.add_object("dealer", 80);
+/// let software = b.add_object("software", 120);
+/// b.add_pair(car, dealer, 0.3, 90.0)?;
+/// b.add_pair(car, software, 0.01, 100.0)?;
+/// let problem = b.uniform_capacities(2, 200).build()?;
+/// assert_eq!(problem.num_objects(), 3);
+/// assert_eq!(problem.num_nodes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CcaProblem {
+    names: Vec<String>,
+    sizes: Vec<u64>,
+    capacities: Vec<u64>,
+    pairs: Vec<Pair>,
+    resources: Vec<Resource>,
+}
+
+impl CcaProblem {
+    /// Starts building a problem.
+    #[must_use]
+    pub fn builder() -> CcaProblemBuilder {
+        CcaProblemBuilder::default()
+    }
+
+    /// Number of objects `|T|`.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of nodes `|N|`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Size `s(i)` of object `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn size(&self, i: ObjectId) -> u64 {
+        self.sizes[i.index()]
+    }
+
+    /// Name of object `i` (used by hash-based placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn name(&self, i: ObjectId) -> &str {
+        &self.names[i.index()]
+    }
+
+    /// Capacity `c(k)` of node `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn capacity(&self, k: usize) -> u64 {
+        self.capacities[k]
+    }
+
+    /// All correlated pairs (the sparse set `E`).
+    #[must_use]
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Secondary capacity constraints (paper 3.3); empty in the base
+    /// formulation.
+    #[must_use]
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Returns `true` if object `i` (or a whole group with the given
+    /// aggregate demands) fits on node `k` given `current` loads, across
+    /// storage and every secondary resource. `current[0]` is the storage
+    /// load and `current[1 + r]` the load of resource `r`; `extra` is laid
+    /// out the same way. Both slices must have length
+    /// `1 + resources().len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths or `k` are out of range.
+    #[must_use]
+    pub fn fits_on_node(&self, k: usize, current: &[f64], extra: &[f64], slack: f64) -> bool {
+        assert_eq!(current.len(), 1 + self.resources.len());
+        assert_eq!(extra.len(), 1 + self.resources.len());
+        if current[0] + extra[0] > self.capacities[k] as f64 * slack {
+            return false;
+        }
+        for (r, res) in self.resources.iter().enumerate() {
+            if current[1 + r] + extra[1 + r] > res.capacity(k) as f64 * slack {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The demand vector of object `i` across storage (entry 0) and every
+    /// secondary resource.
+    #[must_use]
+    pub fn demand_vector(&self, i: ObjectId) -> Vec<f64> {
+        let mut v = Vec::with_capacity(1 + self.resources.len());
+        v.push(self.sizes[i.index()] as f64);
+        for res in &self.resources {
+            v.push(res.demand(i.index()) as f64);
+        }
+        v
+    }
+
+    /// Iterator over object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.sizes.len() as u32).map(ObjectId)
+    }
+
+    /// Total object size `S = Σ s(i)`.
+    #[must_use]
+    pub fn total_size(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Total objective weight `Σ r·w` over all pairs — the communication
+    /// cost of a placement that splits every pair, and the normalisation
+    /// constant for "fraction of cost saved".
+    #[must_use]
+    pub fn total_pair_weight(&self) -> f64 {
+        self.pairs.iter().map(Pair::weight).sum()
+    }
+
+    /// Returns `true` if all objects could fit under the node capacities in
+    /// aggregate (a necessary feasibility condition).
+    #[must_use]
+    pub fn aggregate_capacity_suffices(&self) -> bool {
+        let cap: u64 = self.capacities.iter().sum();
+        self.total_size() <= cap
+    }
+
+    /// Restriction of this problem to `keep` (in the given order): returns
+    /// the subproblem plus the mapping from new ids to original ids. Pairs
+    /// with either endpoint outside `keep` are dropped. Node capacities are
+    /// copied unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains duplicates or unknown objects.
+    #[must_use]
+    pub fn restrict_to(&self, keep: &[ObjectId]) -> (CcaProblem, Vec<ObjectId>) {
+        let mut old_to_new: HashMap<ObjectId, ObjectId> = HashMap::with_capacity(keep.len());
+        for (new_idx, &old) in keep.iter().enumerate() {
+            assert!(old.index() < self.num_objects(), "unknown object {old}");
+            let prev = old_to_new.insert(old, ObjectId(new_idx as u32));
+            assert!(prev.is_none(), "duplicate object {old} in keep list");
+        }
+        let names = keep.iter().map(|&o| self.names[o.index()].clone()).collect();
+        let sizes = keep.iter().map(|&o| self.sizes[o.index()]).collect();
+        let pairs = self
+            .pairs
+            .iter()
+            .filter_map(|p| {
+                let a = old_to_new.get(&p.a)?;
+                let b = old_to_new.get(&p.b)?;
+                Some(Pair {
+                    a: *a.min(b),
+                    b: *a.max(b),
+                    correlation: p.correlation,
+                    comm_cost: p.comm_cost,
+                })
+            })
+            .collect();
+        (
+            CcaProblem {
+                names,
+                sizes,
+                capacities: self.capacities.clone(),
+                pairs,
+                resources: self.resources.iter().map(|r| r.restrict(keep)).collect(),
+            },
+            keep.to_vec(),
+        )
+    }
+
+    /// Returns a copy with node capacities replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty.
+    #[must_use]
+    pub fn with_capacities(&self, capacities: Vec<u64>) -> CcaProblem {
+        assert!(!capacities.is_empty(), "problem needs at least one node");
+        assert!(
+            self.resources.is_empty() || capacities.len() == self.capacities.len(),
+            "cannot change the node count of a problem with secondary resources"
+        );
+        CcaProblem {
+            capacities,
+            ..self.clone()
+        }
+    }
+
+    /// Keeps only the `max_pairs` heaviest pairs by objective weight
+    /// (ties by pair id), per the paper's sparse-`E` assumption (§3.1).
+    /// Returns the number of pairs dropped.
+    pub fn prune_pairs(&mut self, max_pairs: usize) -> usize {
+        if self.pairs.len() <= max_pairs {
+            return 0;
+        }
+        self.pairs.sort_unstable_by(|x, y| {
+            y.weight()
+                .partial_cmp(&x.weight())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        let dropped = self.pairs.len() - max_pairs;
+        self.pairs.truncate(max_pairs);
+        dropped
+    }
+}
+
+/// Builder for [`CcaProblem`].
+#[derive(Debug, Clone, Default)]
+pub struct CcaProblemBuilder {
+    names: Vec<String>,
+    sizes: Vec<u64>,
+    capacities: Vec<u64>,
+    pair_weights: HashMap<(ObjectId, ObjectId), (f64, f64)>,
+    resources: Vec<Resource>,
+    error: Option<ProblemError>,
+}
+
+impl CcaProblemBuilder {
+    /// Adds an object of size `size` and returns its id. `name` feeds
+    /// hash-based placement and diagnostics.
+    pub fn add_object(&mut self, name: impl Into<String>, size: u64) -> ObjectId {
+        let id = ObjectId(self.sizes.len() as u32);
+        self.names.push(name.into());
+        self.sizes.push(size);
+        id
+    }
+
+    /// Records a correlated pair. Repeated `(a, b)` pairs accumulate their
+    /// correlations (keeping the maximum communication cost), matching how
+    /// correlations add over disjoint query populations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for self-pairs, unknown objects, or negative /
+    /// non-finite values.
+    pub fn add_pair(
+        &mut self,
+        a: ObjectId,
+        b: ObjectId,
+        correlation: f64,
+        comm_cost: f64,
+    ) -> Result<(), ProblemError> {
+        if a == b {
+            return Err(ProblemError::SelfPair(a));
+        }
+        for o in [a, b] {
+            if o.index() >= self.sizes.len() {
+                return Err(ProblemError::UnknownObject(o));
+            }
+        }
+        if !(correlation.is_finite() && correlation >= 0.0) {
+            return Err(ProblemError::InvalidNumber(format!(
+                "correlation of ({a},{b}) is {correlation}"
+            )));
+        }
+        if !(comm_cost.is_finite() && comm_cost >= 0.0) {
+            return Err(ProblemError::InvalidNumber(format!(
+                "comm cost of ({a},{b}) is {comm_cost}"
+            )));
+        }
+        let key = (a.min(b), a.max(b));
+        let entry = self.pair_weights.entry(key).or_insert((0.0, 0.0));
+        entry.0 += correlation;
+        entry.1 = entry.1.max(comm_cost);
+        Ok(())
+    }
+
+    /// Gives the problem `num_nodes` nodes of equal `capacity`.
+    pub fn uniform_capacities(&mut self, num_nodes: usize, capacity: u64) -> &mut Self {
+        self.capacities = vec![capacity; num_nodes];
+        self
+    }
+
+    /// Gives the problem explicit per-node capacities.
+    pub fn capacities(&mut self, capacities: Vec<u64>) -> &mut Self {
+        self.capacities = capacities;
+        self
+    }
+
+    /// Registers a secondary capacity constraint (paper 3.3), e.g.
+    /// network bandwidth or CPU. Vector lengths are validated at
+    /// [`CcaProblemBuilder::build`].
+    pub fn add_resource(&mut self, resource: Resource) -> &mut Self {
+        self.resources.push(resource);
+        self
+    }
+
+    /// Finalises the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::NoNodes`] if no capacities were set, or any
+    /// error recorded during building.
+    pub fn build(&mut self) -> Result<CcaProblem, ProblemError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.capacities.is_empty() {
+            return Err(ProblemError::NoNodes);
+        }
+        let mut pairs: Vec<Pair> = self
+            .pair_weights
+            .iter()
+            .filter(|&(_, &(r, w))| r > 0.0 && w > 0.0)
+            .map(|(&(a, b), &(correlation, comm_cost))| Pair {
+                a,
+                b,
+                correlation,
+                comm_cost,
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|p| (p.a, p.b));
+        for res in &self.resources {
+            if let Err(e) = res.validate(self.sizes.len(), self.capacities.len()) {
+                return Err(ProblemError::Resource(e));
+            }
+        }
+        Ok(CcaProblem {
+            names: self.names.clone(),
+            sizes: self.sizes.clone(),
+            capacities: self.capacities.clone(),
+            pairs,
+            resources: self.resources.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CcaProblem {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("alpha", 10);
+        let o1 = b.add_object("beta", 20);
+        let o2 = b.add_object("gamma", 30);
+        b.add_pair(o0, o1, 0.5, 10.0).unwrap();
+        b.add_pair(o2, o0, 0.25, 8.0).unwrap();
+        b.uniform_capacities(2, 40).build().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = sample();
+        assert_eq!(p.num_objects(), 3);
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.size(ObjectId(1)), 20);
+        assert_eq!(p.capacity(0), 40);
+        assert_eq!(p.total_size(), 60);
+        assert_eq!(p.name(ObjectId(2)), "gamma");
+        assert!(p.aggregate_capacity_suffices());
+        assert!((p.total_pair_weight() - (5.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairs_are_normalised_and_sorted() {
+        let p = sample();
+        assert_eq!(p.pairs().len(), 2);
+        for pair in p.pairs() {
+            assert!(pair.a < pair.b);
+        }
+        assert!(p.pairs().windows(2).all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)));
+    }
+
+    #[test]
+    fn duplicate_pairs_accumulate_correlation() {
+        let mut b = CcaProblem::builder();
+        let a = b.add_object("a", 1);
+        let c = b.add_object("b", 1);
+        b.add_pair(a, c, 0.1, 5.0).unwrap();
+        b.add_pair(c, a, 0.2, 3.0).unwrap();
+        let p = b.uniform_capacities(1, 10).build().unwrap();
+        assert_eq!(p.pairs().len(), 1);
+        assert!((p.pairs()[0].correlation - 0.3).abs() < 1e-12);
+        assert!((p.pairs()[0].comm_cost - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_bad_pairs() {
+        let mut b = CcaProblem::builder();
+        let a = b.add_object("a", 1);
+        assert!(matches!(
+            b.add_pair(a, a, 0.1, 1.0),
+            Err(ProblemError::SelfPair(_))
+        ));
+        assert!(matches!(
+            b.add_pair(a, ObjectId(9), 0.1, 1.0),
+            Err(ProblemError::UnknownObject(_))
+        ));
+        assert!(matches!(
+            b.add_pair(a, a, f64::NAN, 1.0),
+            Err(ProblemError::SelfPair(_))
+        ));
+        let c = b.add_object("c", 1);
+        assert!(matches!(
+            b.add_pair(a, c, -0.5, 1.0),
+            Err(ProblemError::InvalidNumber(_))
+        ));
+        assert!(matches!(
+            b.add_pair(a, c, 0.5, f64::INFINITY),
+            Err(ProblemError::InvalidNumber(_))
+        ));
+    }
+
+    #[test]
+    fn build_without_nodes_fails() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        assert!(matches!(b.build(), Err(ProblemError::NoNodes)));
+    }
+
+    #[test]
+    fn zero_weight_pairs_are_dropped() {
+        let mut b = CcaProblem::builder();
+        let a = b.add_object("a", 1);
+        let c = b.add_object("c", 1);
+        b.add_pair(a, c, 0.0, 5.0).unwrap();
+        let p = b.uniform_capacities(1, 10).build().unwrap();
+        assert!(p.pairs().is_empty());
+    }
+
+    #[test]
+    fn restrict_to_remaps_pairs() {
+        let p = sample();
+        let (sub, mapping) = p.restrict_to(&[ObjectId(2), ObjectId(0)]);
+        assert_eq!(sub.num_objects(), 2);
+        assert_eq!(mapping, vec![ObjectId(2), ObjectId(0)]);
+        assert_eq!(sub.size(ObjectId(0)), 30); // gamma
+        assert_eq!(sub.pairs().len(), 1); // only (alpha,gamma) survives
+        let pair = sub.pairs()[0];
+        assert!((pair.weight() - 2.0).abs() < 1e-12);
+        assert_eq!(sub.name(ObjectId(1)), "alpha");
+    }
+
+    #[test]
+    fn prune_pairs_keeps_heaviest() {
+        let mut p = sample();
+        let dropped = p.prune_pairs(1);
+        assert_eq!(dropped, 1);
+        assert_eq!(p.pairs().len(), 1);
+        assert!((p.pairs()[0].weight() - 5.0).abs() < 1e-12);
+        assert_eq!(p.prune_pairs(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate object")]
+    fn restrict_rejects_duplicates() {
+        let p = sample();
+        let _ = p.restrict_to(&[ObjectId(0), ObjectId(0)]);
+    }
+}

@@ -1,0 +1,473 @@
+//! Capacity repair for rounded placements.
+//!
+//! The paper's Theorem 3 bounds only the **expected** per-node load of a
+//! rounded placement, and the LP relaxation is degenerate in a way that
+//! makes real overloads routine: giving every object the identical
+//! fractional row `x_{i,k} = c(k) / Σ c` is feasible whenever the instance
+//! is feasible at all, zeroes every `z_{i,j}`, and is therefore always
+//! optimal — and Algorithm 2.1 never splits identical rows, so whole
+//! correlation components land on single nodes no matter their size. (See
+//! DESIGN.md §"Reproduction findings".) The paper's remedy is
+//! "conservative capacities" tolerance (§2.3); a usable system needs an
+//! explicit repair stage, which this module provides:
+//!
+//! 1. **Cluster moves** — a connected group of objects co-located on an
+//!    overloaded node can often move wholesale for free (its cut to the
+//!    rest of the node is zero when it is an entire correlation
+//!    component);
+//! 2. **Single-object eviction** — when no whole cluster fits anywhere,
+//!    evict the object with the least communication-cost increase per byte
+//!    freed;
+//! 3. **Improvement sweeps** — a bounded local-search pass that re-homes
+//!    objects when a capacity-respecting move strictly reduces cost,
+//!    undoing greedy eviction mistakes.
+//!
+//! All reported experiment costs are measured *after* repair, so the
+//! comparison against the baselines stays honest.
+
+use crate::placement::Placement;
+use crate::problem::{CcaProblem, ObjectId};
+use std::collections::HashMap;
+
+/// Outcome of [`repair_capacity`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairOutcome {
+    /// Number of objects moved (cluster moves count each member).
+    pub moves: usize,
+    /// Whether all nodes ended within `capacity * slack`.
+    pub feasible: bool,
+}
+
+struct Repairer<'a> {
+    problem: &'a CcaProblem,
+    /// `limits[node][dim]`: dimension 0 is storage, then one per secondary
+    /// resource (paper 3.3), all scaled by the slack.
+    limits: Vec<Vec<f64>>,
+    adj: Vec<Vec<(ObjectId, f64)>>,
+    /// `loads[node][dim]`.
+    loads: Vec<Vec<f64>>,
+    /// Cached per-object demand vectors.
+    demands: Vec<Vec<f64>>,
+    moves: usize,
+}
+
+impl Repairer<'_> {
+    /// Cost change of moving object `i` to node `target` (negative is an
+    /// improvement).
+    fn move_delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
+        let src = placement.node_of(i);
+        let mut delta = 0.0;
+        for &(other, w) in &self.adj[i.index()] {
+            let on = placement.node_of(other);
+            if on == src {
+                delta += w;
+            } else if on == target {
+                delta -= w;
+            }
+        }
+        delta
+    }
+
+    fn fits(&self, node: usize, extra: &[f64]) -> bool {
+        self.loads[node]
+            .iter()
+            .zip(extra)
+            .zip(&self.limits[node])
+            .all(|((&l, &e), &lim)| l + e <= lim + 1e-9)
+    }
+
+    fn apply_move(&mut self, placement: &mut Placement, obj: ObjectId, src: usize, dst: usize) {
+        for dim in 0..self.demands[obj.index()].len() {
+            let d = self.demands[obj.index()][dim];
+            self.loads[src][dim] -= d;
+            self.loads[dst][dim] += d;
+        }
+        placement.assign(obj, dst);
+        self.moves += 1;
+    }
+
+    /// Overload of `node`: the worst relative excess over any dimension.
+    fn overload(&self, node: usize) -> f64 {
+        self.loads[node]
+            .iter()
+            .zip(&self.limits[node])
+            .map(|(&l, &lim)| (l - lim) / (1.0 + lim))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Clusters on `node`: connected groups (within the correlation graph)
+    /// of objects currently placed on `node`, sorted largest first.
+    fn clusters_on(&self, placement: &Placement, node: usize) -> Vec<Vec<ObjectId>> {
+        let mut visited: HashMap<ObjectId, bool> = HashMap::new();
+        let mut clusters = Vec::new();
+        for i in self.problem.objects() {
+            if placement.node_of(i) != node || visited.contains_key(&i) {
+                continue;
+            }
+            let mut cluster = Vec::new();
+            let mut stack = vec![i];
+            visited.insert(i, true);
+            while let Some(o) = stack.pop() {
+                cluster.push(o);
+                for &(other, _) in &self.adj[o.index()] {
+                    if placement.node_of(other) == node && !visited.contains_key(&other) {
+                        visited.insert(other, true);
+                        stack.push(other);
+                    }
+                }
+            }
+            clusters.push(cluster);
+        }
+        clusters.sort_unstable_by_key(|c| std::cmp::Reverse(c.len()));
+        clusters
+    }
+
+    /// Tries one repair step on the most overloaded node. Returns `false`
+    /// when nothing is overloaded or nothing can move.
+    fn step(&mut self, placement: &mut Placement) -> Result<bool, ()> {
+        let n = self.problem.num_nodes();
+        let Some((src, _)) = (0..n)
+            .map(|k| (k, self.overload(k)))
+            .filter(|&(_, over)| over > 1e-12)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        else {
+            return Ok(false); // feasible
+        };
+
+        // Candidate 1: whole-cluster moves (zero cut cost for a complete
+        // component; cheap for weakly attached groups).
+        let dims = 1 + self.problem.resources().len();
+        let mut best_cluster: Option<(f64, Vec<ObjectId>, usize)> = None;
+        for cluster in self.clusters_on(placement, src) {
+            // Skip the degenerate "whole node" cluster if it cannot fit
+            // anywhere; singleton clusters are covered by candidate 2.
+            let mut demand = vec![0.0f64; dims];
+            for &o in &cluster {
+                for (dst, d) in demand.iter_mut().zip(&self.demands[o.index()]) {
+                    *dst += d;
+                }
+            }
+            let size = demand[0];
+            if demand.iter().all(|&d| d == 0.0) {
+                continue;
+            }
+            // Cut cost to the rest of src plus joins at each target.
+            let in_cluster: std::collections::HashSet<ObjectId> =
+                cluster.iter().copied().collect();
+            let mut base = 0.0;
+            let mut join = vec![0.0f64; n];
+            for &o in &cluster {
+                for &(other, w) in &self.adj[o.index()] {
+                    if in_cluster.contains(&other) {
+                        continue;
+                    }
+                    let on = placement.node_of(other);
+                    if on == src {
+                        base += w;
+                    } else {
+                        join[on] += w;
+                    }
+                }
+            }
+            for k in 0..n {
+                if k == src || !self.fits(k, &demand) {
+                    continue;
+                }
+                let delta = base - join[k];
+                let score = delta / size.max(1.0);
+                if best_cluster.as_ref().is_none_or(|&(bs, _, _)| score < bs) {
+                    best_cluster = Some((score, cluster.clone(), k));
+                }
+            }
+        }
+        if let Some((_, cluster, target)) = best_cluster {
+            for &o in &cluster {
+                self.apply_move(placement, o, src, target);
+            }
+            return Ok(true);
+        }
+
+        // Candidate 2: single-object eviction by Δcost per byte.
+        let mut best: Option<(f64, ObjectId, usize)> = None;
+        for i in self.problem.objects() {
+            if placement.node_of(i) != src {
+                continue;
+            }
+            let demand = &self.demands[i.index()];
+            if demand.iter().all(|&d| d == 0.0) {
+                continue;
+            }
+            for k in 0..n {
+                if k == src || !self.fits(k, demand) {
+                    continue;
+                }
+                let score = self.move_delta(placement, i, k) / demand[0].max(1.0);
+                if best.is_none_or(|(bs, _, _)| score < bs) {
+                    best = Some((score, i, k));
+                }
+            }
+        }
+        let Some((_, obj, target)) = best else {
+            return Err(()); // stuck: nothing fits anywhere
+        };
+        self.apply_move(placement, obj, src, target);
+        Ok(true)
+    }
+
+    /// One local-search sweep: re-home any object whose best
+    /// capacity-respecting node strictly reduces cost. Returns the number
+    /// of improving moves.
+    fn improvement_sweep(&mut self, placement: &mut Placement) -> usize {
+        let n = self.problem.num_nodes();
+        let mut improved = 0;
+        for i in self.problem.objects() {
+            let src = placement.node_of(i);
+            let demand = self.demands[i.index()].clone();
+            let mut best: Option<(f64, usize)> = None;
+            for k in 0..n {
+                if k == src || !self.fits(k, &demand) {
+                    continue;
+                }
+                let delta = self.move_delta(placement, i, k);
+                if delta < -1e-12 && best.is_none_or(|(bd, _)| delta < bd) {
+                    best = Some((delta, k));
+                }
+            }
+            if let Some((_, k)) = best {
+                self.apply_move(placement, i, src, k);
+                improved += 1;
+            }
+        }
+        improved
+    }
+}
+
+/// Moves objects between nodes until every node's load is within
+/// `capacity(k) * slack`, then runs up to `improvement_sweeps` bounded
+/// local-search sweeps (capacity-respecting, strictly cost-reducing moves
+/// only).
+///
+/// # Panics
+///
+/// Panics if the placement and problem dimensions disagree or
+/// `slack < 1.0`.
+pub fn repair_capacity(
+    problem: &CcaProblem,
+    placement: &mut Placement,
+    slack: f64,
+) -> RepairOutcome {
+    repair_capacity_with(problem, placement, slack, 2)
+}
+
+/// [`repair_capacity`] with an explicit number of improvement sweeps
+/// (0 disables local search).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`repair_capacity`].
+pub fn repair_capacity_with(
+    problem: &CcaProblem,
+    placement: &mut Placement,
+    slack: f64,
+    improvement_sweeps: usize,
+) -> RepairOutcome {
+    assert!(slack >= 1.0, "slack must be at least 1.0");
+    assert_eq!(placement.num_objects(), problem.num_objects());
+    let n = problem.num_nodes();
+
+    let mut adj: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); problem.num_objects()];
+    for pair in problem.pairs() {
+        adj[pair.a.index()].push((pair.b, pair.weight()));
+        adj[pair.b.index()].push((pair.a, pair.weight()));
+    }
+
+    let dims = 1 + problem.resources().len();
+    let limits: Vec<Vec<f64>> = (0..n)
+        .map(|k| {
+            let mut v = vec![problem.capacity(k) as f64 * slack];
+            for res in problem.resources() {
+                v.push(res.capacity(k) as f64 * slack);
+            }
+            v
+        })
+        .collect();
+    let mut loads = vec![vec![0.0f64; dims]; n];
+    let demands: Vec<Vec<f64>> = problem.objects().map(|i| problem.demand_vector(i)).collect();
+    for i in problem.objects() {
+        let node = placement.node_of(i);
+        for (dst, d) in loads[node].iter_mut().zip(&demands[i.index()]) {
+            *dst += d;
+        }
+    }
+    let mut repairer = Repairer {
+        problem,
+        limits,
+        adj,
+        loads,
+        demands,
+        moves: 0,
+    };
+
+    // Eviction loop. Every step moves ≥1 object off an overloaded node
+    // onto a node that stays within limits, so total overload strictly
+    // decreases; the cap is defence in depth.
+    let max_steps = 4 * problem.num_objects() + 16;
+    let mut feasible = true;
+    for _ in 0..max_steps {
+        match repairer.step(placement) {
+            Ok(true) => continue,
+            Ok(false) => break,
+            Err(()) => {
+                feasible = false;
+                break;
+            }
+        }
+    }
+    if feasible {
+        feasible = (0..n).all(|k| repairer.overload(k) <= 1e-12);
+    }
+
+    for _ in 0..improvement_sweeps {
+        if repairer.improvement_sweep(placement) == 0 {
+            break;
+        }
+    }
+
+    RepairOutcome {
+        moves: repairer.moves,
+        feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered() -> CcaProblem {
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..6).map(|i| b.add_object(format!("o{i}"), 10)).collect();
+        // Two triangles with strong internal correlation, weakly linked.
+        for g in 0..2 {
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    b.add_pair(o[g * 3 + i], o[g * 3 + j], 0.9, 10.0).unwrap();
+                }
+            }
+        }
+        b.add_pair(o[0], o[3], 0.05, 10.0).unwrap();
+        b.uniform_capacities(2, 40).build().unwrap()
+    }
+
+    #[test]
+    fn feasible_placement_is_untouched() {
+        let p = clustered();
+        let mut pl = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let before = pl.clone();
+        let out = repair_capacity(&p, &mut pl, 1.0);
+        assert_eq!(out.moves, 0);
+        assert!(out.feasible);
+        assert_eq!(pl, before);
+    }
+
+    #[test]
+    fn overload_is_resolved_along_cheapest_cut() {
+        let p = clustered();
+        // Everything co-located: node 0 load 60 > 40. The optimal repair
+        // cuts only the weak (o0,o3) edge, cost 0.5.
+        let mut pl = Placement::new(vec![0, 0, 0, 0, 0, 0], 2);
+        let out = repair_capacity(&p, &mut pl, 1.0);
+        assert!(out.feasible, "repair failed: {out:?}");
+        assert!(pl.within_capacity(&p, 1.0));
+        let cost = pl.communication_cost(&p);
+        assert!(
+            cost <= 0.5 + 1e-9,
+            "repair should cut only the weak edge, cost {cost}"
+        );
+    }
+
+    #[test]
+    fn disconnected_clusters_move_for_free() {
+        // Two independent components crammed on one node: repair should
+        // move one component wholesale at zero cost.
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..4).map(|i| b.add_object(format!("o{i}"), 10)).collect();
+        b.add_pair(o[0], o[1], 0.9, 10.0).unwrap();
+        b.add_pair(o[2], o[3], 0.9, 10.0).unwrap();
+        let p = b.uniform_capacities(2, 20).build().unwrap();
+        let mut pl = Placement::new(vec![0, 0, 0, 0], 2);
+        let out = repair_capacity(&p, &mut pl, 1.0);
+        assert!(out.feasible);
+        assert!(pl.within_capacity(&p, 1.0));
+        assert_eq!(pl.communication_cost(&p), 0.0);
+        // Pairs stayed together.
+        assert_eq!(pl.node_of(o[0]), pl.node_of(o[1]));
+        assert_eq!(pl.node_of(o[2]), pl.node_of(o[3]));
+    }
+
+    #[test]
+    fn impossible_repair_reports_infeasible() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 10);
+        b.add_object("b", 10);
+        let p = b.uniform_capacities(2, 5).build().unwrap();
+        let mut pl = Placement::new(vec![0, 0], 2);
+        let out = repair_capacity(&p, &mut pl, 1.0);
+        assert!(!out.feasible);
+    }
+
+    #[test]
+    fn slack_loosens_the_limit() {
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..3).map(|i| b.add_object(format!("o{i}"), 10)).collect();
+        b.add_pair(o[0], o[1], 0.9, 1.0).unwrap();
+        let p = b.uniform_capacities(2, 24).build().unwrap();
+        let mut pl = Placement::new(vec![0, 0, 0], 2);
+        // Load 30 on node 0; slack 1.5 allows 36, so nothing to do.
+        let out = repair_capacity(&p, &mut pl, 1.5);
+        assert_eq!(out.moves, 0);
+        assert!(out.feasible);
+        // Strict slack forces a move, and the correlated pair survives.
+        let out2 = repair_capacity(&p, &mut pl, 1.0);
+        assert!(out2.feasible);
+        assert!(out2.moves >= 1);
+        assert!(pl.within_capacity(&p, 1.0));
+        assert_eq!(pl.node_of(o[0]), pl.node_of(o[1]));
+    }
+
+    #[test]
+    fn improvement_sweep_fixes_bad_homes() {
+        // o0 strongly tied to o1,o2 but placed alone: the sweep brings it
+        // home even with no overload anywhere.
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..3).map(|i| b.add_object(format!("o{i}"), 5)).collect();
+        b.add_pair(o[0], o[1], 0.9, 10.0).unwrap();
+        b.add_pair(o[0], o[2], 0.9, 10.0).unwrap();
+        let p = b.uniform_capacities(2, 20).build().unwrap();
+        let mut pl = Placement::new(vec![1, 0, 0], 2);
+        let out = repair_capacity(&p, &mut pl, 1.0);
+        assert!(out.feasible);
+        assert_eq!(pl.communication_cost(&p), 0.0);
+        assert_eq!(pl.node_of(o[0]), pl.node_of(o[1]));
+    }
+
+    #[test]
+    fn zero_sweeps_skip_local_search() {
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..2).map(|i| b.add_object(format!("o{i}"), 5)).collect();
+        b.add_pair(o[0], o[1], 0.9, 10.0).unwrap();
+        let p = b.uniform_capacities(2, 20).build().unwrap();
+        let mut pl = Placement::new(vec![1, 0], 2);
+        let out = repair_capacity_with(&p, &mut pl, 1.0, 0);
+        assert!(out.feasible);
+        assert_eq!(out.moves, 0); // no overload, no sweeps => untouched
+        assert_eq!(pl.node_of(o[0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be at least")]
+    fn slack_below_one_is_rejected() {
+        let p = clustered();
+        let mut pl = Placement::new(vec![0; 6], 2);
+        let _ = repair_capacity(&p, &mut pl, 0.5);
+    }
+}

@@ -1,0 +1,308 @@
+//! Randomized rounding — the paper's Algorithm 2.1.
+//!
+//! Repeatedly draw a node `k` and a threshold `r ∈ [0,1]`, and place every
+//! not-yet-placed object `i` with `x_{i,k} >= r` at node `k`. This dependent
+//! rounding (in the style of Kleinberg–Tardos) guarantees:
+//!
+//! * **Lemma 1** — object `i` lands on node `k` with probability exactly
+//!   `x_{i,k}`;
+//! * **Lemma 2** — `Prob[i, j split] <= z_{i,j}`;
+//! * **Theorem 2** — the expected cost of the rounded placement equals the
+//!   LP optimum;
+//! * **Theorem 3** — the expected per-node load respects the capacities.
+//!
+//! All four are re-verified statistically in this module's tests and the
+//! crate's property tests.
+
+use crate::fractional::FractionalPlacement;
+use crate::placement::Placement;
+use crate::problem::CcaProblem;
+use rand::Rng;
+
+/// Safety cap on rounding steps; with valid stochastic rows the loop
+/// terminates long before this (each step places an object with probability
+/// at least `1/|N|`).
+const MAX_STEPS_PER_OBJECT: usize = 100_000;
+
+/// Performs one run of Algorithm 2.1 on `fractional`.
+///
+/// # Panics
+///
+/// Panics if `fractional` is not (approximately) row-stochastic — call
+/// [`FractionalPlacement::normalise`] first — or if the step cap is
+/// exhausted (indicating invalid input despite the check).
+#[must_use]
+pub fn round_once<R: Rng + ?Sized>(fractional: &FractionalPlacement, rng: &mut R) -> Placement {
+    assert!(
+        fractional.is_stochastic(1e-6),
+        "fractional placement must be row-stochastic; call normalise() first"
+    );
+    let t = fractional.num_objects();
+    let n = fractional.num_nodes();
+    let mut assignment = vec![u32::MAX; t];
+    let mut unplaced: Vec<u32> = (0..t as u32).collect();
+    let mut steps = 0usize;
+    let max_steps = MAX_STEPS_PER_OBJECT.saturating_mul(t.max(1));
+    while !unplaced.is_empty() {
+        assert!(steps < max_steps, "rounding failed to converge");
+        steps += 1;
+        let k = rng.random_range(0..n);
+        let r: f64 = rng.random();
+        unplaced.retain(|&i| {
+            if r <= fractional.fraction(crate::problem::ObjectId(i), k) {
+                assignment[i as usize] = k as u32;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    Placement::new(assignment, n)
+}
+
+/// Outcome of [`round_best_of`].
+#[derive(Debug, Clone)]
+pub struct RoundingOutcome {
+    /// The selected placement.
+    pub placement: Placement,
+    /// Its communication cost on the problem.
+    pub cost: f64,
+    /// Whether it satisfies the capacities (with the slack used).
+    pub within_capacity: bool,
+    /// Number of rounding repetitions performed.
+    pub repetitions: usize,
+}
+
+/// Runs Algorithm 2.1 `repetitions` times and keeps the best placement, as
+/// the paper suggests: "To achieve a high confidence … we can repeat the
+/// randomized rounding several times and pick the best solution."
+///
+/// Capacity-respecting placements (within `capacity_slack`, e.g. `1.0` for
+/// strict) are preferred over violating ones; among equals, lower
+/// communication cost wins.
+///
+/// # Panics
+///
+/// Panics if `repetitions == 0` or the placement/problem dimensions
+/// disagree.
+#[must_use]
+pub fn round_best_of<R: Rng + ?Sized>(
+    fractional: &FractionalPlacement,
+    problem: &CcaProblem,
+    repetitions: usize,
+    capacity_slack: f64,
+    rng: &mut R,
+) -> RoundingOutcome {
+    assert!(repetitions > 0, "need at least one repetition");
+    assert_eq!(
+        fractional.num_objects(),
+        problem.num_objects(),
+        "fractional placement and problem disagree on object count"
+    );
+    let mut best: Option<(bool, f64, Placement)> = None;
+    for _ in 0..repetitions {
+        let p = round_once(fractional, rng);
+        let cost = p.communication_cost(problem);
+        let feasible = p.within_all_capacities(problem, capacity_slack);
+        let better = match &best {
+            None => true,
+            Some((bf, bc, _)) => (feasible, -cost) > (*bf, -*bc) || (feasible == *bf && cost < *bc),
+        };
+        if better {
+            best = Some((feasible, cost, p));
+        }
+    }
+    let (within_capacity, cost, placement) = best.expect("repetitions > 0");
+    RoundingOutcome {
+        placement,
+        cost,
+        within_capacity,
+        repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{CcaProblem, ObjectId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frac(x: Vec<f64>, t: usize, n: usize) -> FractionalPlacement {
+        FractionalPlacement::new(x, t, n)
+    }
+
+    #[test]
+    fn integral_input_rounds_to_itself() {
+        let f = FractionalPlacement::from_integral(&[1, 0, 2], 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let p = round_once(&f, &mut rng);
+            assert_eq!(p.as_slice(), &[1, 0, 2]);
+        }
+    }
+
+    /// Lemma 1: marginal placement probabilities equal the fractions.
+    #[test]
+    fn lemma1_marginals_match_fractions() {
+        let f = frac(vec![0.7, 0.3, 0.2, 0.8], 2, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let mut count = [[0usize; 2]; 2];
+        for _ in 0..trials {
+            let p = round_once(&f, &mut rng);
+            count[0][p.node_of(ObjectId(0))] += 1;
+            count[1][p.node_of(ObjectId(1))] += 1;
+        }
+        for i in 0..2 {
+            for k in 0..2 {
+                let emp = count[i][k] as f64 / trials as f64;
+                let want = f.fraction(ObjectId(i as u32), k);
+                assert!(
+                    (emp - want).abs() < 0.02,
+                    "object {i} node {k}: empirical {emp}, expected {want}"
+                );
+            }
+        }
+    }
+
+    /// Lemma 2: split probability bounded by the split indicator, and
+    /// identical rows are never split.
+    #[test]
+    fn lemma2_split_probability_bounded() {
+        // Identical fractional rows -> never split (the crux of dependent
+        // rounding; independent per-object rounding would split them half
+        // the time).
+        let same = frac(vec![0.5, 0.5, 0.5, 0.5], 2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let p = round_once(&same, &mut rng);
+            assert_eq!(
+                p.node_of(ObjectId(0)),
+                p.node_of(ObjectId(1)),
+                "identical rows were split"
+            );
+        }
+
+        // Partially overlapping rows: empirical split rate <= z + noise.
+        let f = frac(vec![0.7, 0.3, 0.3, 0.7], 2, 2);
+        let z = f.split_indicator(ObjectId(0), ObjectId(1)); // 0.4
+        let trials = 20_000;
+        let mut split = 0;
+        for _ in 0..trials {
+            let p = round_once(&f, &mut rng);
+            if p.node_of(ObjectId(0)) != p.node_of(ObjectId(1)) {
+                split += 1;
+            }
+        }
+        let emp = split as f64 / trials as f64;
+        assert!(emp <= z + 0.02, "split rate {emp} exceeds z = {z}");
+    }
+
+    /// Theorem 2: expected rounded cost ≈ fractional expected cost.
+    #[test]
+    fn theorem2_expected_cost_matches() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 1);
+        let o1 = b.add_object("b", 1);
+        let o2 = b.add_object("c", 1);
+        b.add_pair(o0, o1, 1.0, 10.0).unwrap();
+        b.add_pair(o1, o2, 0.5, 4.0).unwrap();
+        let p = b.uniform_capacities(2, 3).build().unwrap();
+        let f = frac(vec![0.6, 0.4, 0.6, 0.4, 0.1, 0.9], 3, 2);
+        let expected = f.expected_cost(&p);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 30_000;
+        let total: f64 = (0..trials)
+            .map(|_| round_once(&f, &mut rng).communication_cost(&p))
+            .sum();
+        let emp = total / trials as f64;
+        // Lemma 2 gives <= z per pair; for two-node problems the bound is
+        // tight, so the empirical mean should be close to (and not above)
+        // the expectation.
+        assert!(
+            (emp - expected).abs() < 0.15,
+            "empirical {emp} vs expected {expected}"
+        );
+    }
+
+    /// Theorem 3: expected loads within capacity.
+    #[test]
+    fn theorem3_expected_loads() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 10);
+        let o1 = b.add_object("b", 10);
+        b.add_pair(o0, o1, 1.0, 1.0).unwrap();
+        let p = b.uniform_capacities(2, 12).build().unwrap();
+        let f = frac(vec![0.6, 0.4, 0.4, 0.6], 2, 2);
+        // Expected loads are 10*(0.6+0.4) = 10 <= 12 on each node.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 20_000;
+        let mut sums = [0.0f64; 2];
+        for _ in 0..trials {
+            let pl = round_once(&f, &mut rng);
+            let loads = pl.loads(&p);
+            sums[0] += loads[0] as f64;
+            sums[1] += loads[1] as f64;
+        }
+        for k in 0..2 {
+            let mean = sums[k] / trials as f64;
+            assert!(
+                mean <= p.capacity(k) as f64 + 0.3,
+                "node {k} expected load {mean} exceeds capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_rows_always_colocate() {
+        // A subtle consequence of dependent rounding: identical fractional
+        // rows are NEVER split, even when co-location violates capacity.
+        // (This is why the solver pairs rounding with a repair pass.)
+        let f = frac(vec![0.5, 0.5, 0.5, 0.5], 2, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let p = round_once(&f, &mut rng);
+            assert_eq!(p.node_of(ObjectId(0)), p.node_of(ObjectId(1)));
+        }
+    }
+
+    #[test]
+    fn best_of_prefers_feasible_then_cheap() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 10);
+        let o1 = b.add_object("b", 10);
+        b.add_pair(o0, o1, 1.0, 5.0).unwrap();
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        // Asymmetric rows: rounding sometimes co-locates (infeasible, load
+        // 20 > 10) and sometimes splits (feasible, cost 5). Best-of must
+        // select the feasible split even though the infeasible outcome has
+        // cost 0.
+        let f = frac(vec![0.9, 0.1, 0.1, 0.9], 2, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = round_best_of(&f, &p, 64, 1.0, &mut rng);
+        // Split probability is z = 0.8 per draw, so 64 tries find one.
+        assert!(out.within_capacity);
+        assert!((out.cost - 5.0).abs() < 1e-12);
+        assert_eq!(out.repetitions, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-stochastic")]
+    fn non_stochastic_input_is_rejected() {
+        let f = frac(vec![0.9, 0.9, 0.1, 0.1], 2, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = round_once(&f, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_panics() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        let p = b.uniform_capacities(1, 1).build().unwrap();
+        let f = frac(vec![1.0], 1, 1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = round_best_of(&f, &p, 0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the MD5 implementation and hash placement.
+
+use cca_hash::md5::{digest, Md5};
+use cca_hash::{hash_placement, PageId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Streaming in arbitrary chunkings equals the one-shot digest.
+    #[test]
+    fn streaming_equals_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..97,
+    ) {
+        let whole = digest(&data);
+        let mut h = Md5::new();
+        for part in data.chunks(chunk) {
+            h.update(part);
+        }
+        prop_assert_eq!(h.finalize(), whole);
+    }
+
+    /// Digesting is a pure function.
+    #[test]
+    fn digest_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(digest(&data), digest(&data));
+    }
+
+    /// Any single-bit flip changes the digest (collision resistance is not
+    /// claimed, but avalanche on small inputs is a good implementation
+    /// smoke test).
+    #[test]
+    fn single_bit_flip_changes_digest(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut flipped = data.clone();
+        let i = byte_idx.index(flipped.len());
+        flipped[i] ^= 1 << bit;
+        prop_assert_ne!(digest(&data), digest(&flipped));
+    }
+
+    /// Placement stays in range and is deterministic for any key.
+    #[test]
+    fn placement_in_range(key in ".{0,40}", nodes in 1usize..200) {
+        let p = hash_placement(&key, nodes);
+        prop_assert!(p < nodes);
+        prop_assert_eq!(p, hash_placement(&key, nodes));
+    }
+
+    /// Page ids of distinct URLs essentially never collide on small sets.
+    #[test]
+    fn page_ids_injective_on_small_sets(urls in proptest::collection::hash_set(".{1,24}", 2..20)) {
+        let ids: std::collections::HashSet<_> = urls.iter().map(|u| PageId::from_url(u)).collect();
+        prop_assert_eq!(ids.len(), urls.len());
+    }
+}
+
+/// Chi-square-style balance check: hashing many keys over n nodes puts
+/// close to 1/n mass on each node.
+#[test]
+fn hash_placement_balance() {
+    for nodes in [2usize, 10, 37] {
+        let mut counts = vec![0usize; nodes];
+        let total = 20_000;
+        for i in 0..total {
+            counts[hash_placement(&format!("object-{i}"), nodes)] += 1;
+        }
+        let expected = total as f64 / nodes as f64;
+        for (node, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "node {node}/{nodes}: count {c}, expected {expected}");
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Presolve: problem reductions applied before the simplex.
+//!
+//! The placement LPs contain easy structure a solver should not pay
+//! iterations for — empty rows from pruned pairs, variables fixed by
+//! single-variable equalities, rows implied by non-negativity, duplicate
+//! rows from repeated cut patterns. [`presolve`] applies these reductions
+//! repeatedly until a fixed point, returning a smaller equivalent model
+//! plus the bookkeeping needed to restore a solution of the original
+//! model. Equivalence (identical optimal objective; primal solutions that
+//! validate on the original) is enforced by this module's tests and the
+//! crate's property suite.
+
+use crate::model::{Col, LpError, Model, Relation, Solution, SolverOptions};
+use crate::tol;
+
+/// What became of an original variable during presolve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarDisposition {
+    /// Still present in the reduced model at this column index.
+    Kept(usize),
+    /// Fixed to a constant (substituted everywhere).
+    Fixed(f64),
+}
+
+/// A presolved model with restoration bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced model.
+    pub model: Model,
+    /// Objective contribution of fixed variables.
+    pub objective_offset: f64,
+    /// Disposition of each original variable.
+    pub vars: Vec<VarDisposition>,
+    /// For each kept row of the reduced model, the original row index.
+    pub row_origin: Vec<usize>,
+    /// Number of original rows.
+    original_rows: usize,
+}
+
+/// Internal mutable row representation during reduction.
+#[derive(Debug, Clone)]
+struct WorkRow {
+    relation: Relation,
+    rhs: f64,
+    coeffs: Vec<(usize, f64)>, // (original var, coefficient), merged
+    origin: usize,
+    alive: bool,
+}
+
+/// Applies presolve reductions to `model`.
+///
+/// ```
+/// use cca_lp::{presolve, Model, Relation, SolverOptions};
+/// # fn main() -> Result<(), cca_lp::LpError> {
+/// let mut m = Model::minimize();
+/// let x = m.add_var("x", 1.0);
+/// let y = m.add_var("y", 1.0);
+/// m.add_constraint_with("fix", Relation::Eq, 4.0, [(x, 2.0)]);
+/// m.add_constraint_with("cover", Relation::Ge, 5.0, [(x, 1.0), (y, 1.0)]);
+/// let reduced = presolve(&m)?;
+/// assert_eq!(reduced.vars_fixed(), 1); // x = 2 eliminated
+/// let sol = reduced.solve(&SolverOptions::default())?;
+/// assert!((sol.objective - 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`LpError::Infeasible`] or [`LpError::Unbounded`] when a
+/// reduction proves it outright, and [`LpError::InvalidModel`] for
+/// non-finite data.
+pub fn presolve(model: &Model) -> Result<Presolved, LpError> {
+    model.check_finite()?;
+    let minimize = matches!(model.sense(), crate::model::Sense::Minimize);
+    let obj_sign = if minimize { 1.0 } else { -1.0 };
+
+    let n = model.num_vars();
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let mut rows: Vec<WorkRow> = model
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            // Merge duplicate coefficients.
+            let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &(c, v) in &r.coeffs {
+                *acc.entry(c).or_default() += v;
+            }
+            let mut coeffs: Vec<(usize, f64)> = acc
+                .into_iter()
+                .filter(|&(_, v)| v.abs() > tol::DROP)
+                .collect();
+            coeffs.sort_unstable_by_key(|&(c, _)| c);
+            WorkRow {
+                relation: r.relation,
+                rhs: r.rhs,
+                coeffs,
+                origin: i,
+                alive: true,
+            }
+        })
+        .collect();
+
+    // Iterate reductions to a fixed point.
+    loop {
+        let mut changed = false;
+
+        for row in rows.iter_mut().filter(|r| r.alive) {
+            // Substitute fixed variables into the row.
+            let before = row.coeffs.len();
+            row.coeffs.retain(|&(c, v)| {
+                if let Some(x) = fixed[c] {
+                    row.rhs -= v * x;
+                    false
+                } else {
+                    true
+                }
+            });
+            if row.coeffs.len() != before {
+                changed = true;
+            }
+
+            match row.coeffs.len() {
+                0 => {
+                    // Empty row: trivially satisfied or infeasible.
+                    let ok = match row.relation {
+                        Relation::Le => row.rhs >= -tol::FEAS,
+                        Relation::Ge => row.rhs <= tol::FEAS,
+                        Relation::Eq => row.rhs.abs() <= tol::FEAS,
+                    };
+                    if !ok {
+                        return Err(LpError::Infeasible);
+                    }
+                    row.alive = false;
+                    changed = true;
+                }
+                1 => {
+                    let (c, a) = row.coeffs[0];
+                    let bound = row.rhs / a;
+                    match (row.relation, a > 0.0) {
+                        // a x = b: fix the variable.
+                        (Relation::Eq, _) => {
+                            if bound < -tol::FEAS {
+                                return Err(LpError::Infeasible);
+                            }
+                            fixed[c] = Some(bound.max(0.0));
+                            row.alive = false;
+                            changed = true;
+                        }
+                        // a x <= b with a > 0: upper bound. Only usable to
+                        // prove infeasibility (bound < 0); otherwise the
+                        // row must stay (we cannot represent bounds).
+                        (Relation::Le, true) => {
+                            if bound < -tol::FEAS {
+                                return Err(LpError::Infeasible);
+                            }
+                        }
+                        // a x <= b with a < 0: x >= b/a, implied by x >= 0
+                        // when b/a <= 0.
+                        (Relation::Le, false) => {
+                            if bound <= tol::FEAS {
+                                row.alive = false;
+                                changed = true;
+                            }
+                        }
+                        // a x >= b with a > 0: x >= b/a, implied when
+                        // b/a <= 0.
+                        (Relation::Ge, true) => {
+                            if bound <= tol::FEAS {
+                                row.alive = false;
+                                changed = true;
+                            }
+                        }
+                        // a x >= b with a < 0: x <= b/a; infeasible when
+                        // negative.
+                        (Relation::Ge, false) => {
+                            if bound < -tol::FEAS {
+                                return Err(LpError::Infeasible);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Duplicate-row elimination among surviving rows: same coefficients and
+    // relation — keep the tighter rhs (for Eq, differing rhs is infeasible).
+    {
+        use std::collections::HashMap;
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        let mut drop_list: Vec<usize> = Vec::new();
+        let signatures: Vec<Option<String>> = rows
+            .iter()
+            .map(|row| {
+                row.alive.then(|| {
+                    let mut sig = format!("{:?}|", row.relation);
+                    for &(c, v) in &row.coeffs {
+                        sig.push_str(&format!("{c}:{v};"));
+                    }
+                    sig
+                })
+            })
+            .collect();
+        for i in 0..rows.len() {
+            let Some(sig) = &signatures[i] else { continue };
+            match seen.entry(sig.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let keep = *e.get();
+                    let (ri, rk) = (rows[i].rhs, rows[keep].rhs);
+                    match rows[i].relation {
+                        Relation::Le => rows[keep].rhs = rk.min(ri),
+                        Relation::Ge => rows[keep].rhs = rk.max(ri),
+                        Relation::Eq => {
+                            if (ri - rk).abs() > tol::FEAS * (1.0 + rk.abs()) {
+                                return Err(LpError::Infeasible);
+                            }
+                        }
+                    }
+                    drop_list.push(i);
+                }
+            }
+        }
+        for i in drop_list {
+            rows[i].alive = false;
+        }
+    }
+
+    // Empty columns: variables in no surviving row. Cost >= 0 (in
+    // minimisation orientation) fixes them at 0 — always safe. Cost < 0
+    // means "unbounded *if feasible*", which presolve cannot decide here:
+    // keep the column and let the solver report Unbounded or Infeasible.
+    let mut used = vec![false; n];
+    for row in rows.iter().filter(|r| r.alive) {
+        for &(c, _) in &row.coeffs {
+            used[c] = true;
+        }
+    }
+    let mut keep_for_unboundedness = false;
+    for c in 0..n {
+        if fixed[c].is_none() && !used[c] {
+            let cost = obj_sign * model.objective_coeff(Col(c));
+            if cost < -tol::OPT {
+                keep_for_unboundedness = true;
+            } else {
+                fixed[c] = Some(0.0);
+            }
+        }
+    }
+    // Degenerate corner: a negative-cost empty column with NO other
+    // content at all — the model is trivially feasible and unbounded.
+    if keep_for_unboundedness && rows.iter().all(|r| !r.alive) {
+        return Err(LpError::Unbounded);
+    }
+
+    // Assemble the reduced model.
+    let mut reduced = if minimize {
+        Model::minimize()
+    } else {
+        Model::maximize()
+    };
+    let mut vars = Vec::with_capacity(n);
+    let mut new_cols: Vec<Option<Col>> = vec![None; n];
+    let mut objective_offset = 0.0;
+    for c in 0..n {
+        match fixed[c] {
+            Some(x) => {
+                objective_offset += model.objective_coeff(Col(c)) * x;
+                vars.push(VarDisposition::Fixed(x));
+            }
+            None => {
+                let col = reduced.add_var(
+                    model.var_name(Col(c)).to_string(),
+                    model.objective_coeff(Col(c)),
+                );
+                new_cols[c] = Some(col);
+                vars.push(VarDisposition::Kept(col.index()));
+            }
+        }
+    }
+    let mut row_origin = Vec::new();
+    for row in rows.iter().filter(|r| r.alive) {
+        let new_row = reduced.add_constraint(
+            model.rows[row.origin].name.clone(),
+            row.relation,
+            row.rhs,
+        );
+        for &(c, v) in &row.coeffs {
+            reduced.set_coeff(new_row, new_cols[c].expect("kept var"), v);
+        }
+        row_origin.push(row.origin);
+    }
+
+    Ok(Presolved {
+        model: reduced,
+        objective_offset,
+        vars,
+        row_origin,
+        original_rows: model.num_constraints(),
+    })
+}
+
+impl Presolved {
+    /// Solves the reduced model and restores a solution of the original
+    /// model: fixed variables get their fixed values, the objective gets
+    /// the presolve offset, and duals of removed rows are reported as 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from the reduced model.
+    pub fn solve(&self, options: &SolverOptions) -> Result<Solution, LpError> {
+        let inner = if self.model.num_constraints() == 0 && self.model.num_vars() == 0 {
+            // Everything was eliminated.
+            Solution {
+                status: crate::model::SolveStatus::Optimal,
+                objective: 0.0,
+                values: Vec::new(),
+                duals: Vec::new(),
+                iterations: 0,
+            }
+        } else {
+            self.model.solve(options)?
+        };
+        Ok(self.restore(&inner))
+    }
+
+    /// Maps a solution of the reduced model back to the original model.
+    #[must_use]
+    pub fn restore(&self, inner: &Solution) -> Solution {
+        let values = self
+            .vars
+            .iter()
+            .map(|d| match *d {
+                VarDisposition::Kept(idx) => inner.values[idx],
+                VarDisposition::Fixed(x) => x,
+            })
+            .collect();
+        let mut duals = vec![0.0; self.original_rows];
+        for (new_idx, &orig) in self.row_origin.iter().enumerate() {
+            duals[orig] = inner.duals[new_idx];
+        }
+        Solution {
+            status: inner.status,
+            objective: inner.objective + self.objective_offset,
+            values,
+            duals,
+            iterations: inner.iterations,
+        }
+    }
+
+    /// Rows removed by presolve.
+    #[must_use]
+    pub fn rows_removed(&self) -> usize {
+        self.original_rows - self.row_origin.len()
+    }
+
+    /// Variables fixed by presolve.
+    #[must_use]
+    pub fn vars_fixed(&self) -> usize {
+        self.vars
+            .iter()
+            .filter(|d| matches!(d, VarDisposition::Fixed(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+    use crate::tol::approx_eq;
+
+    #[test]
+    fn fixes_singleton_equalities_and_substitutes() {
+        // x = 2 fixed; min x + y s.t. x + y >= 5 becomes y >= 3.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint_with("fix", Relation::Eq, 4.0, [(x, 2.0)]);
+        m.add_constraint_with("cover", Relation::Ge, 5.0, [(x, 1.0), (y, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.vars_fixed(), 1);
+        assert_eq!(p.model.num_vars(), 1);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 5.0, 1e-9)); // x=2, y=3
+        assert!(approx_eq(sol.values[0], 2.0, 1e-9));
+        assert!(approx_eq(sol.values[1], 3.0, 1e-9));
+        // Full agreement with the unpresolved solve.
+        let direct = m.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(direct.objective, sol.objective, 1e-9));
+    }
+
+    #[test]
+    fn removes_implied_and_empty_rows() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 3.0);
+        m.add_constraint_with("implied", Relation::Ge, -2.0, [(x, 1.0)]); // x >= -2
+        m.add_constraint("empty_ok", Relation::Le, 1.0);
+        m.add_constraint_with("real", Relation::Ge, 4.0, [(x, 2.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.num_constraints(), 1);
+        assert_eq!(p.rows_removed(), 2);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 6.0, 1e-9));
+        // Dual of the surviving row lands on the right original index.
+        assert!(sol.duals[2] > 0.0);
+        assert_eq!(sol.duals[0], 0.0);
+    }
+
+    #[test]
+    fn detects_trivial_infeasibility() {
+        // Empty row 0 >= 3.
+        let mut m = Model::minimize();
+        m.add_var("x", 1.0);
+        m.add_constraint("impossible", Relation::Ge, 3.0);
+        assert!(matches!(presolve(&m), Err(LpError::Infeasible)));
+
+        // Singleton x <= -1 with x >= 0.
+        let mut m2 = Model::minimize();
+        let x = m2.add_var("x", 1.0);
+        m2.add_constraint_with("neg", Relation::Le, -1.0, [(x, 1.0)]);
+        assert!(matches!(presolve(&m2), Err(LpError::Infeasible)));
+
+        // Eq duplicate with conflicting rhs.
+        let mut m3 = Model::minimize();
+        let x = m3.add_var("x", 1.0);
+        let y = m3.add_var("y", 1.0);
+        m3.add_constraint_with("e1", Relation::Eq, 2.0, [(x, 1.0), (y, 1.0)]);
+        m3.add_constraint_with("e2", Relation::Eq, 3.0, [(x, 1.0), (y, 1.0)]);
+        assert!(matches!(presolve(&m3), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn detects_unbounded_empty_column() {
+        let mut m = Model::minimize();
+        m.add_var("free_fall", -1.0); // no constraints at all
+        assert!(matches!(presolve(&m), Err(LpError::Unbounded)));
+
+        // Maximisation orientation.
+        let mut m2 = Model::maximize();
+        m2.add_var("up", 1.0);
+        assert!(matches!(presolve(&m2), Err(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn fixes_harmless_empty_columns_at_zero() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let _idle = m.add_var("idle", 2.0); // positive cost, no rows
+        m.add_constraint_with("r", Relation::Ge, 3.0, [(x, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.vars_fixed(), 1);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 3.0, 1e-9));
+        assert_eq!(sol.values[1], 0.0);
+    }
+
+    #[test]
+    fn duplicate_rows_keep_the_tighter_side() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        m.add_constraint_with("a", Relation::Ge, 2.0, [(x, 1.0), (y, 1.0)]);
+        m.add_constraint_with("b", Relation::Ge, 5.0, [(x, 1.0), (y, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.num_constraints(), 1);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 5.0, 1e-9));
+    }
+
+    #[test]
+    fn cancelled_duplicate_coefficients_become_empty_rows() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let r = m.add_constraint("cancel", Relation::Le, 0.0);
+        m.set_coeff(r, x, 1.0);
+        m.set_coeff(r, x, -1.0);
+        m.add_constraint_with("real", Relation::Ge, 1.0, [(x, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.num_constraints(), 1);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn whole_model_can_be_eliminated() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 2.0);
+        m.add_constraint_with("fix", Relation::Eq, 6.0, [(x, 3.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.model.num_vars(), 0);
+        assert_eq!(p.model.num_constraints(), 0);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 4.0, 1e-9)); // 2 * 2
+        assert!(approx_eq(sol.values[0], 2.0, 1e-9));
+    }
+
+    #[test]
+    fn chained_fixings_propagate() {
+        // x = 1; x + y = 3 -> y = 2; y + z >= 5 -> z >= 3.
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 1.0);
+        let z = m.add_var("z", 1.0);
+        m.add_constraint_with("f1", Relation::Eq, 1.0, [(x, 1.0)]);
+        m.add_constraint_with("f2", Relation::Eq, 3.0, [(x, 1.0), (y, 1.0)]);
+        m.add_constraint_with("r", Relation::Ge, 5.0, [(y, 1.0), (z, 1.0)]);
+        let p = presolve(&m).unwrap();
+        assert_eq!(p.vars_fixed(), 2);
+        let sol = p.solve(&SolverOptions::default()).unwrap();
+        assert!(approx_eq(sol.objective, 6.0, 1e-9)); // 1 + 2 + 3
+        assert!(approx_eq(sol.values[2], 3.0, 1e-9));
+    }
+}

@@ -1,0 +1,430 @@
+//! Sparse LU factorisation of a simplex basis.
+//!
+//! Left-looking (Gilbert–Peierls) LU with partial pivoting, in the style of
+//! CSparse's `cs_lu`: each basis column is solved against the already-built
+//! part of `L` with a symbolic-reach sparse triangular solve, then the
+//! largest not-yet-pivotal entry is chosen as pivot.
+//!
+//! The factorisation represents `P * B * Q = L * U`, where `P` reorders rows
+//! by pivot discovery and `Q` is a static column ordering by increasing
+//! column population (a cheap fill-reducing heuristic that is very effective
+//! on simplex bases, which are close to triangular).
+
+use crate::model::LpError;
+use crate::sparse::matrix::CscMatrix;
+use crate::tol;
+
+/// One column of `L` or `U` in its sparse representation.
+#[derive(Debug, Clone, Default)]
+struct SparseCols {
+    col_ptr: Vec<usize>,
+    /// For `L`: original row indices of sub-diagonal entries.
+    /// For `U`: pivot-order positions (`< k`) of super-diagonal entries.
+    idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl SparseCols {
+    fn new() -> Self {
+        SparseCols {
+            col_ptr: vec![0],
+            idx: Vec::new(),
+            val: Vec::new(),
+        }
+    }
+
+    fn push_col(&mut self, entries: impl Iterator<Item = (usize, f64)>) {
+        for (i, v) in entries {
+            self.idx.push(i);
+            self.val.push(v);
+        }
+        self.col_ptr.push(self.idx.len());
+    }
+
+    fn col(&self, k: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[k];
+        let hi = self.col_ptr[k + 1];
+        self.idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.val[lo..hi].iter().copied())
+    }
+}
+
+/// LU factors of an `m x m` basis matrix, selected as columns of a larger
+/// CSC matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    m: usize,
+    /// `pinv[original_row] = pivot position` (always a permutation after a
+    /// successful factorisation).
+    pinv: Vec<usize>,
+    /// `rowperm[pivot position] = original_row` (inverse of `pinv`).
+    rowperm: Vec<usize>,
+    /// Static column ordering: pivot column `k` factors basis column
+    /// `colperm[k]`.
+    colperm: Vec<usize>,
+    /// Unit lower-triangular factor; sub-diagonal entries carry original row
+    /// indices.
+    l: SparseCols,
+    /// Upper-triangular factor; super-diagonal entries carry pivot-order
+    /// positions.
+    u: SparseCols,
+    /// Diagonal of `U` in pivot order.
+    u_diag: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factorises the basis formed by columns `basis` of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Numerical`] if the basis is singular to working
+    /// precision.
+    pub fn factorize(a: &CscMatrix, basis: &[usize]) -> Result<Self, LpError> {
+        let m = basis.len();
+        assert_eq!(a.rows(), m, "basis must be square");
+
+        // Column ordering: shortest columns first.
+        let mut colperm: Vec<usize> = (0..m).collect();
+        colperm.sort_by_key(|&k| a.col_iter(basis[k]).count());
+
+        let mut pinv = vec![usize::MAX; m];
+        let mut rowperm = vec![usize::MAX; m];
+        let mut l = SparseCols::new();
+        let mut u = SparseCols::new();
+        let mut u_diag = Vec::with_capacity(m);
+
+        // Dense scratch for the sparse triangular solve.
+        let mut x = vec![0.0f64; m];
+        let mut pattern: Vec<usize> = Vec::with_capacity(m);
+        let mut visited = vec![u32::MAX; m];
+        let mut stack: Vec<usize> = Vec::new();
+
+        for k in 0..m {
+            let bcol = basis[colperm[k]];
+
+            // Symbolic phase: the set of rows reachable from the column's
+            // pattern through the structure of already-pivotal L columns.
+            // Order within the set does not matter here because the numeric
+            // phase below applies pivot columns in increasing pivot order.
+            pattern.clear();
+            for (r, _) in a.col_iter(bcol) {
+                if visited[r] == k as u32 {
+                    continue;
+                }
+                visited[r] = k as u32;
+                stack.push(r);
+                while let Some(node) = stack.pop() {
+                    pattern.push(node);
+                    let pk = pinv[node];
+                    if pk != usize::MAX {
+                        for (child, _) in l.col(pk) {
+                            if visited[child] != k as u32 {
+                                visited[child] = k as u32;
+                                stack.push(child);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Numeric phase: x = L \ b over the pattern, applying pivotal
+            // columns in increasing pivot order (each x value is final
+            // before its column is applied because L is lower triangular in
+            // the permuted space).
+            for &r in &pattern {
+                x[r] = 0.0;
+            }
+            for (r, v) in a.col_iter(bcol) {
+                x[r] = v;
+            }
+            let mut pivotal: Vec<usize> = pattern
+                .iter()
+                .copied()
+                .filter(|&r| pinv[r] != usize::MAX)
+                .collect();
+            pivotal.sort_unstable_by_key(|&r| pinv[r]);
+            for &r in &pivotal {
+                let pk = pinv[r];
+                let xr = x[r];
+                if xr != 0.0 {
+                    for (i, v) in l.col(pk) {
+                        x[i] -= v * xr;
+                    }
+                }
+            }
+
+            // Pivot choice: the largest-magnitude not-yet-pivotal entry.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_val = 0.0f64;
+            for &r in &pattern {
+                if pinv[r] == usize::MAX && x[r].abs() > pivot_val.abs() {
+                    pivot_row = r;
+                    pivot_val = x[r];
+                }
+            }
+            if pivot_row == usize::MAX || pivot_val.abs() < tol::PIVOT {
+                return Err(LpError::Numerical(format!(
+                    "singular basis at pivot column {k} (best pivot {pivot_val:e})"
+                )));
+            }
+
+            // Emit U column (entries at pivotal rows) and L column (the
+            // rest, scaled by the pivot).
+            u.push_col(
+                pivotal
+                    .iter()
+                    .map(|&r| (pinv[r], x[r]))
+                    .filter(|&(_, v)| v.abs() > tol::DROP),
+            );
+            u_diag.push(pivot_val);
+            l.push_col(pattern.iter().filter_map(|&r| {
+                if pinv[r] == usize::MAX && r != pivot_row {
+                    let v = x[r] / pivot_val;
+                    (v.abs() > tol::DROP).then_some((r, v))
+                } else {
+                    None
+                }
+            }));
+
+            pinv[pivot_row] = k;
+            rowperm[k] = pivot_row;
+        }
+
+        Ok(LuFactors {
+            m,
+            pinv,
+            rowperm,
+            colperm,
+            l,
+            u,
+            u_diag,
+        })
+    }
+
+    /// Dimension of the factored basis.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Solves `B x = b` in place (`b` becomes `x`), where `x` is indexed by
+    /// basis position.
+    pub fn ftran(&self, b: &mut [f64]) {
+        debug_assert_eq!(b.len(), self.m);
+        // y (pivot order) from L y = P b.
+        let mut y = vec![0.0f64; self.m];
+        let mut pb = vec![0.0f64; self.m];
+        for k in 0..self.m {
+            pb[k] = b[self.rowperm[k]];
+        }
+        for k in 0..self.m {
+            let yk = pb[k];
+            y[k] = yk;
+            if yk != 0.0 {
+                for (i, v) in self.l.col(k) {
+                    pb[self.pinv[i]] -= v * yk;
+                }
+            }
+        }
+        // x2 (pivot-column order) from U x2 = y.
+        for k in (0..self.m).rev() {
+            let xk = y[k] / self.u_diag[k];
+            y[k] = xk;
+            if xk != 0.0 {
+                for (pos, v) in self.u.col(k) {
+                    y[pos] -= v * xk;
+                }
+            }
+        }
+        // Un-permute columns.
+        for k in 0..self.m {
+            b[self.colperm[k]] = y[k];
+        }
+    }
+
+    /// Solves `B' y = c` in place (`c` becomes `y`), where `c` is indexed by
+    /// basis position and `y` by row.
+    pub fn btran(&self, c: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.m);
+        // c2 in pivot-column order.
+        let mut c2 = vec![0.0f64; self.m];
+        for k in 0..self.m {
+            c2[k] = c[self.colperm[k]];
+        }
+        // U' z = c2 (forward).
+        for k in 0..self.m {
+            let mut s = c2[k];
+            for (pos, v) in self.u.col(k) {
+                s -= v * c2[pos];
+            }
+            c2[k] = s / self.u_diag[k];
+        }
+        // L' w = z (backward); L diagonal is 1.
+        for k in (0..self.m).rev() {
+            let mut s = c2[k];
+            for (i, v) in self.l.col(k) {
+                s -= v * c2[self.pinv[i]];
+            }
+            c2[k] = s;
+        }
+        // y[row] = w[pinv[row]].
+        for r in 0..self.m {
+            c[r] = c2[self.pinv[r]];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dense_to_csc(d: &[Vec<f64>]) -> CscMatrix {
+        let rows = d.len();
+        let cols = d[0].len();
+        let mut t = Vec::new();
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.push((i, j, v));
+                }
+            }
+        }
+        CscMatrix::from_triplets(rows, cols, &t)
+    }
+
+    fn mat_vec(d: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        d.iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    fn mat_t_vec(d: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let n = d[0].len();
+        let mut out = vec![0.0; n];
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[j] += v * x[i];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_round_trip() {
+        let d = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let a = dense_to_csc(&d);
+        let lu = LuFactors::factorize(&a, &[0, 1]).unwrap();
+        let mut b = vec![3.0, -4.0];
+        lu.ftran(&mut b);
+        assert_eq!(b, vec![3.0, -4.0]);
+        let mut c = vec![5.0, 7.0];
+        lu.btran(&mut c);
+        assert_eq!(c, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn small_dense_ftran_btran() {
+        let d = vec![
+            vec![2.0, 1.0, 0.0],
+            vec![-1.0, 3.0, 2.0],
+            vec![0.5, 0.0, 1.0],
+        ];
+        let a = dense_to_csc(&d);
+        let lu = LuFactors::factorize(&a, &[0, 1, 2]).unwrap();
+
+        let x_true = vec![1.0, -2.0, 3.0];
+        let mut b = mat_vec(&d, &x_true);
+        lu.ftran(&mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{b:?}");
+        }
+
+        let y_true = vec![0.5, 2.0, -1.0];
+        let mut c = mat_t_vec(&d, &y_true);
+        lu.btran(&mut c);
+        for (got, want) in c.iter().zip(&y_true) {
+            assert!((got - want).abs() < 1e-10, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_requiring_pivoting() {
+        // First column has a zero on the diagonal, forcing row pivoting.
+        let d = vec![vec![0.0, 1.0], vec![2.0, 0.0]];
+        let a = dense_to_csc(&d);
+        let lu = LuFactors::factorize(&a, &[0, 1]).unwrap();
+        let mut b = vec![1.0, 4.0]; // x = [2, 1]
+        lu.ftran(&mut b);
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_basis_is_reported() {
+        let d = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let a = dense_to_csc(&d);
+        assert!(LuFactors::factorize(&a, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn random_matrices_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..25 {
+            let m = 1 + (trial % 12);
+            // Diagonally dominated random matrix with random sparsity.
+            let mut d = vec![vec![0.0f64; m]; m];
+            for (i, row) in d.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    if i == j {
+                        *v = 4.0 + rng.random::<f64>();
+                    } else if rng.random::<f64>() < 0.35 {
+                        *v = rng.random::<f64>() * 2.0 - 1.0;
+                    }
+                }
+            }
+            let a = dense_to_csc(&d);
+            let basis: Vec<usize> = (0..m).collect();
+            let lu = LuFactors::factorize(&a, &basis).unwrap();
+
+            let x_true: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 10.0 - 5.0).collect();
+            let mut b = mat_vec(&d, &x_true);
+            lu.ftran(&mut b);
+            for (got, want) in b.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-8, "trial {trial}: ftran mismatch");
+            }
+
+            let y_true: Vec<f64> = (0..m).map(|_| rng.random::<f64>() * 10.0 - 5.0).collect();
+            let mut c = mat_t_vec(&d, &y_true);
+            lu.btran(&mut c);
+            for (got, want) in c.iter().zip(&y_true) {
+                assert!((got - want).abs() < 1e-8, "trial {trial}: btran mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn basis_selected_from_wider_matrix() {
+        // 2x4 matrix; factorise columns 1 and 3.
+        let a = CscMatrix::from_triplets(
+            2,
+            4,
+            &[
+                (0, 0, 9.0),
+                (0, 1, 1.0),
+                (1, 1, 2.0),
+                (0, 2, 9.0),
+                (1, 3, 5.0),
+            ],
+        );
+        let lu = LuFactors::factorize(&a, &[1, 3]).unwrap();
+        // B = [[1, 0], [2, 5]]; solve B x = [1, 12] => x = [1, 2].
+        let mut b = vec![1.0, 12.0];
+        lu.ftran(&mut b);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Compressed sparse column matrix.
+
+use crate::tol;
+
+/// An immutable sparse matrix in compressed-sparse-column (CSC) layout.
+///
+/// Built once from triplets and then used read-only by the revised simplex:
+/// column access is `O(nnz(column))`, which matches the access pattern of
+/// pricing, FTRAN right-hand sides and basis extraction.
+#[derive(Debug, Clone, Default)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate `(row, col)` entries are summed; entries whose final
+    /// magnitude is below [`tol::DROP`] are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of range.
+    #[must_use]
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+        }
+        // Count entries per column.
+        let mut counts = vec![0usize; cols];
+        for &(_, c, _) in triplets {
+            counts[c] += 1;
+        }
+        let mut col_ptr = vec![0usize; cols + 1];
+        for c in 0..cols {
+            col_ptr[c + 1] = col_ptr[c] + counts[c];
+        }
+        let nnz = col_ptr[cols];
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        let mut next = col_ptr.clone();
+        for &(r, c, v) in triplets {
+            let p = next[c];
+            row_idx[p] = r;
+            values[p] = v;
+            next[c] += 1;
+        }
+        let mut m = CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        };
+        m.sort_and_dedup();
+        m
+    }
+
+    /// Sorts each column by row index, merging duplicates and dropping tiny
+    /// entries.
+    fn sort_and_dedup(&mut self) {
+        let mut new_ptr = vec![0usize; self.cols + 1];
+        let mut new_rows = Vec::with_capacity(self.row_idx.len());
+        let mut new_vals = Vec::with_capacity(self.values.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..self.cols {
+            scratch.clear();
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                scratch.push((self.row_idx[p], self.values[p]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == r {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v.abs() > tol::DROP {
+                    new_rows.push(r);
+                    new_vals.push(v);
+                }
+                i = j;
+            }
+            new_ptr[c + 1] = new_rows.len();
+        }
+        self.col_ptr = new_ptr;
+        self.row_idx = new_rows;
+        self.values = new_vals;
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over the `(row, value)` entries of column `c`, sorted by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Dot product of column `c` with a dense vector `y` of length
+    /// [`Self::rows`].
+    #[must_use]
+    pub fn col_dot(&self, c: usize, y: &[f64]) -> f64 {
+        debug_assert_eq!(y.len(), self.rows);
+        self.col_iter(c).map(|(r, v)| v * y[r]).sum()
+    }
+
+    /// Adds `scale` times column `c` into the dense vector `out`.
+    pub fn add_col_into(&self, c: usize, scale: f64, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, v) in self.col_iter(c) {
+            out[r] += scale * v;
+        }
+    }
+
+    /// Computes `A * x` for a dense `x` of length [`Self::cols`].
+    #[must_use]
+    pub fn mul_dense(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc != 0.0 {
+                self.add_col_into(c, xc, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Materialises the matrix as dense row-major storage (tests and the
+    /// dense reference solver only).
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.cols]; self.rows];
+        for c in 0..self.cols {
+            for (r, v) in self.col_iter(c) {
+                out[r][c] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_round_trip() {
+        let m = CscMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0), (0, 2, -3.0)]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        let d = m.to_dense();
+        assert_eq!(d, vec![vec![1.0, 0.0, -3.0], vec![0.0, 0.0, 2.0]]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CscMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense()[0][0], 3.5);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let m = CscMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, -1.0)]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn columns_are_sorted_by_row() {
+        let m = CscMatrix::from_triplets(3, 1, &[(2, 0, 1.0), (0, 0, 2.0), (1, 0, 3.0)]);
+        let entries: Vec<_> = m.col_iter(0).collect();
+        assert_eq!(entries, vec![(0, 2.0), (1, 3.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn mul_dense_matches_manual() {
+        let m = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 4.0)]);
+        assert_eq!(m.mul_dense(&[1.0, 1.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn col_dot_matches_manual() {
+        let m = CscMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (1, 0, 5.0)]);
+        assert_eq!(m.col_dot(0, &[2.0, 3.0]), 17.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_triplet_panics() {
+        let _ = CscMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+}

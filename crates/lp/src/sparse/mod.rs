@@ -1,0 +1,8 @@
+//! Sparse linear algebra and the revised simplex method.
+
+pub mod lu;
+pub mod matrix;
+pub(crate) mod revised;
+
+pub use lu::LuFactors;
+pub use matrix::CscMatrix;

@@ -1,0 +1,233 @@
+//! Conversion of a [`Model`](crate::Model) to computational standard form.
+//!
+//! Standard form: `min c'x  s.t.  Ax = b, x >= 0, b >= 0`, where the columns
+//! of `A` are the structural variables followed by slack/surplus variables
+//! and finally artificial variables. Both the dense reference simplex and
+//! the sparse revised simplex consume this one representation, which is what
+//! makes cross-checking them meaningful.
+
+use crate::model::{Model, Relation, Sense};
+use crate::sparse::CscMatrix;
+
+/// A model lowered to `min c'x, Ax = b, x >= 0` with a known starting basis.
+#[derive(Debug, Clone)]
+pub struct StandardForm {
+    /// Number of rows of `A`.
+    pub m: usize,
+    /// Total number of columns (structural + slack/surplus + artificial).
+    pub n: usize,
+    /// Number of structural (original model) columns.
+    pub n_structural: usize,
+    /// First artificial column index; columns `>= artificial_start` are
+    /// artificial.
+    pub artificial_start: usize,
+    /// Phase-2 objective (minimisation; zero on slack and artificial
+    /// columns).
+    pub obj: Vec<f64>,
+    /// The constraint matrix.
+    pub a: CscMatrix,
+    /// Right-hand side, all entries non-negative.
+    pub b: Vec<f64>,
+    /// Starting basis: one column per row, primal-feasible by construction
+    /// (slacks for `<=` rows, artificials otherwise).
+    pub initial_basis: Vec<usize>,
+    /// Whether row `i` of the original model was negated during
+    /// normalisation (needed to restore dual signs).
+    pub row_flipped: Vec<bool>,
+    /// Whether the objective was negated (original sense was `Maximize`).
+    pub sense_flipped: bool,
+}
+
+impl StandardForm {
+    /// Lowers `model` to standard form.
+    #[must_use]
+    pub fn from_model(model: &Model) -> Self {
+        let m = model.rows.len();
+        let n_structural = model.cols.len();
+        let sense_flipped = model.sense == Sense::Maximize;
+
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(model.num_nonzeros() + m);
+        let mut b = Vec::with_capacity(m);
+        let mut row_flipped = Vec::with_capacity(m);
+
+        // Normalise rows so every rhs is non-negative; record orientation.
+        let mut normalised_relations = Vec::with_capacity(m);
+        for (i, row) in model.rows.iter().enumerate() {
+            let flip = row.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(c, v) in &row.coeffs {
+                triplets.push((i, c, sign * v));
+            }
+            b.push(sign * row.rhs);
+            row_flipped.push(flip);
+            let rel = match (row.relation, flip) {
+                (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+                (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+                (Relation::Eq, _) => Relation::Eq,
+            };
+            normalised_relations.push(rel);
+        }
+
+        // Slack / surplus columns.
+        let mut next_col = n_structural;
+        let mut slack_col: Vec<Option<(usize, f64)>> = vec![None; m];
+        for (i, rel) in normalised_relations.iter().enumerate() {
+            match rel {
+                Relation::Le => {
+                    triplets.push((i, next_col, 1.0));
+                    slack_col[i] = Some((next_col, 1.0));
+                    next_col += 1;
+                }
+                Relation::Ge => {
+                    triplets.push((i, next_col, -1.0));
+                    slack_col[i] = Some((next_col, -1.0));
+                    next_col += 1;
+                }
+                Relation::Eq => {}
+            }
+        }
+
+        // Artificial columns for rows whose slack cannot start basic:
+        // `>=` rows (surplus has coefficient -1, so a basic surplus would be
+        // negative) and `=` rows (no slack at all).
+        let artificial_start = next_col;
+        let mut initial_basis = vec![usize::MAX; m];
+        for (i, rel) in normalised_relations.iter().enumerate() {
+            match rel {
+                Relation::Le => {
+                    initial_basis[i] = slack_col[i].expect("<= row has a slack").0;
+                }
+                Relation::Ge | Relation::Eq => {
+                    triplets.push((i, next_col, 1.0));
+                    initial_basis[i] = next_col;
+                    next_col += 1;
+                }
+            }
+        }
+
+        let n = next_col;
+        let mut obj = vec![0.0; n];
+        let obj_sign = if sense_flipped { -1.0 } else { 1.0 };
+        for (c, col) in model.cols.iter().enumerate() {
+            obj[c] = obj_sign * col.obj;
+        }
+
+        let a = CscMatrix::from_triplets(m, n, &triplets);
+
+        StandardForm {
+            m,
+            n,
+            n_structural,
+            artificial_start,
+            obj,
+            a,
+            b,
+            initial_basis,
+            row_flipped,
+            sense_flipped,
+        }
+    }
+
+    /// Phase-1 objective: unit cost on every artificial column.
+    #[must_use]
+    pub fn phase1_obj(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.n];
+        for entry in c.iter_mut().skip(self.artificial_start) {
+            *entry = 1.0;
+        }
+        c
+    }
+
+    /// Restores the original model's objective value from the internal
+    /// (minimisation) objective value.
+    #[must_use]
+    pub fn restore_objective(&self, internal: f64) -> f64 {
+        if self.sense_flipped {
+            -internal
+        } else {
+            internal
+        }
+    }
+
+    /// Restores dual values to the original model's row orientation and
+    /// sense.
+    #[must_use]
+    pub fn restore_duals(&self, y: &[f64]) -> Vec<f64> {
+        let sign = if self.sense_flipped { -1.0 } else { 1.0 };
+        y.iter()
+            .zip(&self.row_flipped)
+            .map(|(&yi, &flip)| if flip { -sign * yi } else { sign * yi })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+
+    fn small_model() -> Model {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", 3.0);
+        let y = m.add_var("y", 2.0);
+        let r1 = m.add_constraint("r1", Relation::Le, 4.0);
+        m.set_coeff(r1, x, 1.0);
+        m.set_coeff(r1, y, 1.0);
+        let r2 = m.add_constraint("r2", Relation::Ge, -6.0);
+        m.set_coeff(r2, x, -1.0);
+        m.set_coeff(r2, y, -3.0);
+        let r3 = m.add_constraint("r3", Relation::Eq, 2.0);
+        m.set_coeff(r3, x, 1.0);
+        m
+    }
+
+    #[test]
+    fn rhs_is_normalised_nonnegative() {
+        let sf = StandardForm::from_model(&small_model());
+        assert!(sf.b.iter().all(|&v| v >= 0.0));
+        // Row 1 had rhs -6 and must be flipped: -x - 3y >= -6 ==> x + 3y <= 6.
+        assert!(sf.row_flipped[1]);
+        assert!(!sf.row_flipped[0]);
+    }
+
+    #[test]
+    fn column_layout_and_basis() {
+        let sf = StandardForm::from_model(&small_model());
+        assert_eq!(sf.n_structural, 2);
+        // Two inequality rows get slack/surplus; the Eq row gets only an
+        // artificial; row 1 normalises to <= so only the Eq row needs one.
+        assert_eq!(sf.artificial_start, 4);
+        assert_eq!(sf.n, 5);
+        // <= rows start with their slack basic; the Eq row with its
+        // artificial.
+        assert_eq!(sf.initial_basis[0], 2);
+        assert_eq!(sf.initial_basis[1], 3);
+        assert_eq!(sf.initial_basis[2], 4);
+    }
+
+    #[test]
+    fn maximisation_negates_objective() {
+        let sf = StandardForm::from_model(&small_model());
+        assert_eq!(sf.obj[0], -3.0);
+        assert_eq!(sf.obj[1], -2.0);
+        assert_eq!(sf.restore_objective(-12.0), 12.0);
+    }
+
+    #[test]
+    fn phase1_obj_targets_artificials_only() {
+        let sf = StandardForm::from_model(&small_model());
+        let c1 = sf.phase1_obj();
+        assert_eq!(&c1[..4], &[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(c1[4], 1.0);
+    }
+
+    #[test]
+    fn initial_basis_is_identity_like() {
+        let sf = StandardForm::from_model(&small_model());
+        // Each initial basis column must be a unit (+1) column in its row.
+        for (i, &bc) in sf.initial_basis.iter().enumerate() {
+            let entries: Vec<_> = sf.a.col_iter(bc).collect();
+            assert_eq!(entries, vec![(i, 1.0)]);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Numerical tolerances shared by the simplex implementations.
+
+/// Feasibility tolerance: a constraint is considered satisfied when its
+/// violation does not exceed this value.
+pub const FEAS: f64 = 1e-7;
+
+/// Optimality tolerance on reduced costs: a column prices out when its
+/// reduced cost is below `-OPT` (minimisation).
+pub const OPT: f64 = 1e-7;
+
+/// Minimum acceptable pivot magnitude. Pivots smaller than this are rejected
+/// in the ratio test to protect the factorisation.
+pub const PIVOT: f64 = 1e-8;
+
+/// Values with absolute value below this are treated as exact zeros when
+/// storing sparse vectors.
+pub const DROP: f64 = 1e-12;
+
+/// Returns `true` if `a` and `b` are equal within an absolute/relative blend
+/// suitable for objective-value comparisons in tests.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_near_zero() {
+        assert!(approx_eq(0.0, 1e-9, 1e-8));
+        assert!(!approx_eq(0.0, 1e-3, 1e-8));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        assert!(approx_eq(1e9, 1e9 + 1.0, 1e-8));
+        assert!(!approx_eq(1e9, 1.01e9, 1e-8));
+    }
+}

@@ -1,0 +1,122 @@
+//! Independent validation of LP solutions.
+
+use crate::model::{Model, Relation, Solution};
+use crate::tol;
+
+/// A constraint or sign violation found by [`validate_solution`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A variable is negative beyond tolerance.
+    NegativeVariable {
+        /// Column index.
+        col: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A constraint is violated beyond tolerance.
+    Constraint {
+        /// Row index.
+        row: usize,
+        /// Amount by which the row is violated (positive).
+        amount: f64,
+    },
+    /// The reported objective does not match `c'x`.
+    ObjectiveMismatch {
+        /// Reported objective.
+        reported: f64,
+        /// Objective recomputed from the primal values.
+        recomputed: f64,
+    },
+}
+
+/// Checks `solution` against `model` from first principles: variable signs,
+/// every constraint, and the objective value. Returns all violations found
+/// (empty means the solution is primal-feasible and consistent).
+#[must_use]
+pub fn validate_solution(model: &Model, solution: &Solution) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let x = &solution.values;
+
+    for (i, &v) in x.iter().enumerate() {
+        if v < -tol::FEAS * 10.0 {
+            out.push(Violation::NegativeVariable { col: i, value: v });
+        }
+    }
+
+    for (i, row) in model.rows.iter().enumerate() {
+        let lhs: f64 = row.coeffs.iter().map(|&(c, v)| v * x[c]).sum();
+        let scale = 1.0 + row.rhs.abs() + lhs.abs();
+        let violation = match row.relation {
+            Relation::Le => lhs - row.rhs,
+            Relation::Ge => row.rhs - lhs,
+            Relation::Eq => (lhs - row.rhs).abs(),
+        };
+        if violation > tol::FEAS * 100.0 * scale {
+            out.push(Violation::Constraint {
+                row: i,
+                amount: violation,
+            });
+        }
+    }
+
+    let recomputed: f64 = model
+        .cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| c.obj * x[i])
+        .sum();
+    if !tol::approx_eq(recomputed, solution.objective, 1e-6) {
+        out.push(Violation::ObjectiveMismatch {
+            reported: solution.objective,
+            recomputed,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+
+    #[test]
+    fn optimal_solution_validates_clean() {
+        let mut m = Model::maximize();
+        let x = m.add_var("x", 3.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint_with("r1", Relation::Le, 4.0, [(x, 1.0), (y, 1.0)]);
+        m.add_constraint_with("r2", Relation::Le, 6.0, [(x, 1.0), (y, 3.0)]);
+        let sol = m.solve(&Default::default()).unwrap();
+        assert!(validate_solution(&m, &sol).is_empty());
+    }
+
+    #[test]
+    fn tampered_solution_is_flagged() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint_with("r", Relation::Ge, 5.0, [(x, 1.0)]);
+        let mut sol = m.solve(&Default::default()).unwrap();
+        sol.values[0] = 1.0; // violates r and the objective
+        let violations = validate_solution(&m, &sol);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Constraint { row: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ObjectiveMismatch { .. })));
+    }
+
+    #[test]
+    fn negative_variable_is_flagged() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        m.add_constraint_with("r", Relation::Ge, 0.0, [(x, 1.0)]);
+        let mut sol = m.solve(&Default::default()).unwrap();
+        sol.values[0] = -1.0;
+        let violations = validate_solution(&m, &sol);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NegativeVariable { col: 0, .. })));
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests of the LP solvers: the dense reference simplex and
+//! the sparse revised simplex must agree on randomly generated models, and
+//! every reported optimum must validate from first principles.
+
+use cca_lp::{presolve, validate_solution, LpError, Model, Relation, SolverOptions};
+use proptest::prelude::*;
+
+/// A random constraint row: `(relation code, rhs, coefficients)`.
+type RandomRow = (u8, i8, Vec<(usize, i8)>);
+
+/// A randomly generated model description that proptest can shrink.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    objective: Vec<i8>,
+    rows: Vec<RandomRow>,
+    maximize: bool,
+}
+
+fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
+    (1usize..7, any::<bool>())
+        .prop_flat_map(|(num_vars, maximize)| {
+            let objective = proptest::collection::vec(-4i8..=6, num_vars);
+            let row = (
+                0u8..3,
+                -4i8..=8,
+                proptest::collection::vec((0..num_vars, -3i8..=4), 1..=num_vars),
+            );
+            let rows = proptest::collection::vec(row, 1..6);
+            (Just(num_vars), objective, rows, Just(maximize))
+        })
+        .prop_map(|(_, objective, rows, maximize)| RandomLp {
+            objective,
+            rows,
+            maximize,
+        })
+}
+
+fn build(lp: &RandomLp) -> Model {
+    let mut m = if lp.maximize {
+        Model::maximize()
+    } else {
+        Model::minimize()
+    };
+    let vars: Vec<_> = lp
+        .objective
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| m.add_var(format!("x{i}"), f64::from(c)))
+        .collect();
+    for (r, (rel, rhs, coeffs)) in lp.rows.iter().enumerate() {
+        let relation = match rel % 3 {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        let row = m.add_constraint(format!("r{r}"), relation, f64::from(*rhs));
+        for &(var, coeff) in coeffs {
+            m.set_coeff(row, vars[var], f64::from(coeff));
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Dense and sparse solvers agree on status and, when optimal, on the
+    /// objective value; optimal solutions validate from first principles.
+    #[test]
+    fn dense_and_sparse_agree(lp in random_lp_strategy()) {
+        let model = build(&lp);
+        let dense = model.solve_dense();
+        let sparse = model.solve(&SolverOptions::default());
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => {
+                let scale = 1.0 + d.objective.abs().max(s.objective.abs());
+                prop_assert!(
+                    (d.objective - s.objective).abs() < 1e-6 * scale,
+                    "dense {} vs sparse {}", d.objective, s.objective
+                );
+                let violations = validate_solution(&model, &s);
+                prop_assert!(violations.is_empty(), "sparse violations: {violations:?}");
+                let violations = validate_solution(&model, &d);
+                prop_assert!(violations.is_empty(), "dense violations: {violations:?}");
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (d, s) => prop_assert!(false, "status mismatch: dense {d:?}, sparse {s:?}"),
+        }
+    }
+
+    /// Strong duality: at a reported optimum, the dual objective b'y equals
+    /// the primal objective (both solvers).
+    #[test]
+    fn strong_duality_holds(lp in random_lp_strategy()) {
+        let model = build(&lp);
+        if let Ok(sol) = model.solve(&SolverOptions::default()) {
+            // Dual objective: sum over rows of rhs * dual.
+            let mut dual_obj = 0.0;
+            for r in 0..model.num_constraints() {
+                // Row handles are dense indices by construction.
+                dual_obj += sol.duals[r] * rhs_of(&lp, r);
+            }
+            let scale = 1.0 + sol.objective.abs();
+            prop_assert!(
+                (dual_obj - sol.objective).abs() < 1e-5 * scale,
+                "primal {} vs dual {}", sol.objective, dual_obj
+            );
+        }
+    }
+
+    /// Scaling the objective scales the optimum (solver linearity sanity).
+    #[test]
+    fn objective_scaling(lp in random_lp_strategy(), factor in 1u8..5) {
+        let model = build(&lp);
+        let mut scaled_lp = lp.clone();
+        for c in &mut scaled_lp.objective {
+            *c = c.saturating_mul(factor as i8);
+        }
+        let scaled = build(&scaled_lp);
+        // Only meaningful when scaling didn't saturate.
+        let saturated = lp
+            .objective
+            .iter()
+            .any(|&c| i16::from(c) * i16::from(factor) != i16::from(c.saturating_mul(factor as i8)));
+        if !saturated {
+            match (model.solve(&SolverOptions::default()), scaled.solve(&SolverOptions::default())) {
+                (Ok(a), Ok(b)) => {
+                    let want = a.objective * f64::from(factor);
+                    let scale = 1.0 + want.abs();
+                    prop_assert!(
+                        (b.objective - want).abs() < 1e-5 * scale,
+                        "scaled {} vs expected {}", b.objective, want
+                    );
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(
+                    std::mem::discriminant(&ea),
+                    std::mem::discriminant(&eb)
+                ),
+                (a, b) => prop_assert!(false, "scaling changed status: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Presolve is equivalence-preserving: solving the presolved model and
+    /// restoring gives the same objective (and a solution that validates on
+    /// the original model) as solving directly. Status agreement includes
+    /// presolve proving infeasibility/unboundedness early.
+    #[test]
+    fn presolve_preserves_equivalence(lp in random_lp_strategy()) {
+        let model = build(&lp);
+        let direct = model.solve(&SolverOptions::default());
+        let via = presolve(&model).and_then(|p| p.solve(&SolverOptions::default()));
+        match (direct, via) {
+            (Ok(a), Ok(b)) => {
+                let scale = 1.0 + a.objective.abs().max(b.objective.abs());
+                prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-6 * scale,
+                    "direct {} vs presolved {}", a.objective, b.objective
+                );
+                let violations = validate_solution(&model, &b);
+                prop_assert!(violations.is_empty(), "restored violations: {violations:?}");
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+            (a, b) => prop_assert!(false, "status mismatch: direct {a:?}, presolved {b:?}"),
+        }
+    }
+
+    /// LP-format round trips preserve the optimum on random models.
+    #[test]
+    fn lp_format_round_trip(lp in random_lp_strategy()) {
+        let model = build(&lp);
+        let text = cca_lp::write_lp(&model);
+        let parsed = cca_lp::parse_lp(&text);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}\n{text}", parsed.err());
+        let parsed = parsed.unwrap();
+        match (model.solve(&SolverOptions::default()), parsed.solve(&SolverOptions::default())) {
+            (Ok(a), Ok(b)) => {
+                let scale = 1.0 + a.objective.abs().max(b.objective.abs());
+                prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-6 * scale,
+                    "original {} vs reparsed {}", a.objective, b.objective
+                );
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(
+                std::mem::discriminant(&ea), std::mem::discriminant(&eb)
+            ),
+            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+fn rhs_of(lp: &RandomLp, row: usize) -> f64 {
+    f64::from(lp.rows[row].1)
+}
+
+/// Deterministic regression cases distilled from fuzzing-style exploration.
+#[test]
+fn regression_zero_rhs_equalities() {
+    let mut m = Model::minimize();
+    let x = m.add_var("x", 1.0);
+    let y = m.add_var("y", -1.0);
+    m.add_constraint_with("e", Relation::Eq, 0.0, [(x, 1.0), (y, -1.0)]);
+    m.add_constraint_with("cap", Relation::Le, 5.0, [(x, 1.0), (y, 1.0)]);
+    // min x - y with x = y: objective 0 along the segment.
+    let sol = m.solve(&SolverOptions::default()).unwrap();
+    assert!(sol.objective.abs() < 1e-9);
+}
+
+#[test]
+fn regression_all_zero_objective() {
+    let mut m = Model::maximize();
+    let x = m.add_var("x", 0.0);
+    m.add_constraint_with("r", Relation::Ge, 2.0, [(x, 1.0)]);
+    let sol = m.solve(&SolverOptions::default()).unwrap();
+    assert_eq!(sol.objective, 0.0);
+    assert!(sol.values[0] >= 2.0 - 1e-9);
+}
+
+#[test]
+fn regression_redundant_equalities_sparse() {
+    let mut m = Model::minimize();
+    let x = m.add_var("x", 2.0);
+    let y = m.add_var("y", 3.0);
+    m.add_constraint_with("e1", Relation::Eq, 4.0, [(x, 1.0), (y, 1.0)]);
+    m.add_constraint_with("e2", Relation::Eq, 8.0, [(x, 2.0), (y, 2.0)]);
+    m.add_constraint_with("e3", Relation::Eq, 12.0, [(x, 3.0), (y, 3.0)]);
+    let sol = m.solve(&SolverOptions::default()).unwrap();
+    assert!((sol.objective - 8.0).abs() < 1e-8); // x = 4, y = 0
+}

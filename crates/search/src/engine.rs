@@ -1,0 +1,494 @@
+//! Query execution with byte-accurate communication accounting.
+//!
+//! Mirrors the paper's prototype (§4.1): for each query the engine looks up
+//! the node of every queried keyword, evaluates the aggregation, and logs
+//! the bytes moved between nodes. As in the paper, the cost of returning the
+//! final ranked results to the user is not counted, because it is
+//! independent of index placement.
+
+use crate::cluster::Cluster;
+use crate::index::InvertedIndex;
+use cca_hash::PageId;
+use cca_trace::{Query, QueryLog, WordId};
+
+/// How a multi-keyword operation aggregates its objects (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AggregationPolicy {
+    /// Intersection-like: process the two smallest indices first, shipping
+    /// the smaller to the larger's node, then forward the (small)
+    /// intermediate result to each remaining keyword's node in ascending
+    /// size order. This is how multi-keyword web search evaluates.
+    #[default]
+    Intersection,
+    /// Union-like: "transfer all objects to the node at which the largest
+    /// object is located and then perform the union locally".
+    Union,
+}
+
+/// One inter-node shipment performed while evaluating a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Bytes shipped.
+    pub bytes: u64,
+}
+
+/// Result of executing one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Matching pages (intersection or union of posting lists).
+    pub pages: Vec<PageId>,
+    /// Bytes moved between nodes to evaluate the query.
+    pub comm_bytes: u64,
+    /// The individual inter-node shipments (zero-byte moves omitted).
+    pub transfers: Vec<Transfer>,
+}
+
+/// Aggregate statistics of a trace replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Total bytes moved between nodes.
+    pub total_bytes: u64,
+    /// Number of queries executed.
+    pub num_queries: u64,
+    /// Queries computable without any communication.
+    pub local_queries: u64,
+    /// Queries touching more than one keyword.
+    pub multi_keyword_queries: u64,
+    /// Bytes sent per node (network hotspot analysis).
+    pub per_node_sent: Vec<u64>,
+    /// Bytes received per node.
+    pub per_node_received: Vec<u64>,
+}
+
+impl ExecutionStats {
+    /// Fraction of queries that were locally computable.
+    #[must_use]
+    pub fn local_fraction(&self) -> f64 {
+        if self.num_queries == 0 {
+            0.0
+        } else {
+            self.local_queries as f64 / self.num_queries as f64
+        }
+    }
+
+    /// Mean bytes per query.
+    #[must_use]
+    pub fn mean_bytes_per_query(&self) -> f64 {
+        if self.num_queries == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.num_queries as f64
+        }
+    }
+
+    /// The node with the highest combined sent+received traffic, with its
+    /// byte count (`None` when no traffic occurred).
+    #[must_use]
+    pub fn hotspot(&self) -> Option<(usize, u64)> {
+        self.per_node_sent
+            .iter()
+            .zip(&self.per_node_received)
+            .map(|(&s, &r)| s + r)
+            .enumerate()
+            .filter(|&(_, traffic)| traffic > 0)
+            .max_by_key(|&(k, traffic)| (traffic, std::cmp::Reverse(k)))
+    }
+
+    /// Traffic-imbalance factor: the hotspot's combined traffic over the
+    /// per-node mean (0 when no traffic occurred).
+    #[must_use]
+    pub fn traffic_imbalance(&self) -> f64 {
+        let n = self.per_node_sent.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .per_node_sent
+            .iter()
+            .zip(&self.per_node_received)
+            .map(|(&s, &r)| s + r)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / n as f64;
+        self.hotspot().map_or(0.0, |(_, t)| t as f64 / mean)
+    }
+}
+
+/// A query engine bound to an index and a cluster placement.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    index: &'a InvertedIndex,
+    cluster: &'a Cluster,
+    policy: AggregationPolicy,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over `index` placed on `cluster`.
+    #[must_use]
+    pub fn new(index: &'a InvertedIndex, cluster: &'a Cluster, policy: AggregationPolicy) -> Self {
+        QueryEngine {
+            index,
+            cluster,
+            policy,
+        }
+    }
+
+    /// Node hosting keyword `w`; unplaced keywords fall back to node 0 so
+    /// replay never fails (an unplaced keyword has an empty posting list
+    /// and contributes no bytes).
+    fn node_of(&self, w: WordId) -> usize {
+        self.cluster.node_of(w).unwrap_or(0)
+    }
+
+    /// Executes one query.
+    #[must_use]
+    pub fn execute(&self, query: &Query) -> QueryResult {
+        match self.policy {
+            AggregationPolicy::Intersection => self.execute_intersection(query),
+            AggregationPolicy::Union => self.execute_union(query),
+        }
+    }
+
+    fn execute_intersection(&self, query: &Query) -> QueryResult {
+        if query.words.is_empty() {
+            return QueryResult {
+                pages: Vec::new(),
+                comm_bytes: 0,
+                transfers: Vec::new(),
+            };
+        }
+        if query.words.len() == 1 {
+            return QueryResult {
+                pages: self.index.posting(query.words[0]).to_vec(),
+                comm_bytes: 0,
+                transfers: Vec::new(),
+            };
+        }
+        // Ascending index size, ties by id for determinism.
+        let mut order: Vec<WordId> = query.words.clone();
+        order.sort_unstable_by_key(|&w| (self.index.posting(w).len(), w));
+
+        let (a, b) = (order[0], order[1]);
+        let mut transfers = Vec::new();
+        // Ship the smaller of the first two to the larger's node.
+        let mut location = self.node_of(b);
+        if self.node_of(a) != location && self.index.size_bytes(a) > 0 {
+            transfers.push(Transfer {
+                from: self.node_of(a),
+                to: location,
+                bytes: self.index.size_bytes(a),
+            });
+        }
+        let mut result = InvertedIndex::intersect(self.index.posting(a), self.index.posting(b));
+        // Remaining keywords: forward the (shrinking) intermediate result.
+        for &w in &order[2..] {
+            let node = self.node_of(w);
+            if node != location {
+                let bytes = (result.len() * PageId::WIRE_SIZE) as u64;
+                if bytes > 0 {
+                    transfers.push(Transfer {
+                        from: location,
+                        to: node,
+                        bytes,
+                    });
+                }
+                location = node;
+            }
+            if result.is_empty() {
+                continue;
+            }
+            result = InvertedIndex::intersect(&result, self.index.posting(w));
+        }
+        QueryResult {
+            pages: result,
+            comm_bytes: transfers.iter().map(|t| t.bytes).sum(),
+            transfers,
+        }
+    }
+
+    fn execute_union(&self, query: &Query) -> QueryResult {
+        if query.words.is_empty() {
+            return QueryResult {
+                pages: Vec::new(),
+                comm_bytes: 0,
+                transfers: Vec::new(),
+            };
+        }
+        // Largest object's node hosts the union.
+        let host_word = *query
+            .words
+            .iter()
+            .max_by_key(|&&w| (self.index.posting(w).len(), w))
+            .expect("non-empty");
+        let host = self.node_of(host_word);
+        let mut transfers = Vec::new();
+        let mut result: Vec<PageId> = Vec::new();
+        for &w in &query.words {
+            let node = self.node_of(w);
+            if node != host && self.index.size_bytes(w) > 0 {
+                transfers.push(Transfer {
+                    from: node,
+                    to: host,
+                    bytes: self.index.size_bytes(w),
+                });
+            }
+            result = InvertedIndex::union(&result, self.index.posting(w));
+        }
+        QueryResult {
+            pages: result,
+            comm_bytes: transfers.iter().map(|t| t.bytes).sum(),
+            transfers,
+        }
+    }
+
+    /// Replays a whole query log and aggregates the statistics.
+    #[must_use]
+    pub fn replay(&self, log: &QueryLog) -> ExecutionStats {
+        let mut stats = ExecutionStats {
+            per_node_sent: vec![0; self.cluster.num_nodes()],
+            per_node_received: vec![0; self.cluster.num_nodes()],
+            ..ExecutionStats::default()
+        };
+        for q in log.iter() {
+            let r = self.execute(q);
+            stats.num_queries += 1;
+            stats.total_bytes += r.comm_bytes;
+            for t in &r.transfers {
+                stats.per_node_sent[t.from] += t.bytes;
+                stats.per_node_received[t.to] += t.bytes;
+            }
+            if r.comm_bytes == 0 {
+                stats.local_queries += 1;
+            }
+            if q.words.len() > 1 {
+                stats.multi_keyword_queries += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stopwords::StopwordList;
+    use cca_trace::{Corpus, Query, TraceConfig, Vocabulary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a hand-crafted index: word ids 0..4 with controlled posting
+    /// sizes, placed on 2 nodes.
+    struct Fixture {
+        index: InvertedIndex,
+        vocab: Vocabulary,
+    }
+
+    fn fixture() -> Fixture {
+        let cfg = TraceConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(5);
+        let vocab = Vocabulary::generate(&cfg, &mut rng);
+        let corpus = Corpus::generate(&cfg, &vocab, &mut rng);
+        let index = InvertedIndex::build(&corpus, &vocab, &StopwordList::none());
+        Fixture { index, vocab }
+    }
+
+    /// Two indexed words with distinct posting sizes.
+    fn two_words(f: &Fixture) -> (WordId, WordId) {
+        let mut ws: Vec<WordId> = f.index.keywords().collect();
+        ws.sort_unstable_by_key(|&w| (f.index.posting(w).len(), w));
+        let small = ws[0];
+        let large = *ws.last().unwrap();
+        assert!(f.index.posting(small).len() < f.index.posting(large).len());
+        (small, large)
+    }
+
+    #[test]
+    fn colocated_pair_costs_nothing() {
+        let f = fixture();
+        let (a, b) = two_words(&f);
+        let mut assignment = vec![0usize; f.vocab.len()];
+        for w in f.index.keywords() {
+            assignment[w.index()] = 0;
+        }
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let r = engine.execute(&Query { words: vec![a, b] });
+        assert_eq!(r.comm_bytes, 0);
+    }
+
+    #[test]
+    fn split_pair_ships_smaller_index() {
+        let f = fixture();
+        let (small, large) = two_words(&f);
+        let mut assignment = vec![0usize; f.vocab.len()];
+        assignment[small.index()] = 0;
+        assignment[large.index()] = 1;
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let r = engine.execute(&Query {
+            words: vec![small, large],
+        });
+        assert_eq!(r.comm_bytes, f.index.size_bytes(small));
+        // Result contents are placement-independent.
+        let r2 = {
+            let mut a2 = assignment.clone();
+            a2[large.index()] = 0;
+            let c2 = Cluster::with_assignment(2, &f.index, &a2);
+            QueryEngine::new(&f.index, &c2, AggregationPolicy::Intersection)
+                .execute(&Query {
+                    words: vec![small, large],
+                })
+                .pages
+        };
+        assert_eq!(r.pages, r2);
+    }
+
+    #[test]
+    fn single_keyword_queries_are_free() {
+        let f = fixture();
+        let (a, _) = two_words(&f);
+        let assignment = vec![1usize; f.vocab.len()];
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let r = engine.execute(&Query { words: vec![a] });
+        assert_eq!(r.comm_bytes, 0);
+        assert_eq!(r.pages, f.index.posting(a));
+    }
+
+    #[test]
+    fn three_word_query_forwards_intermediate_result() {
+        let f = fixture();
+        let mut ws: Vec<WordId> = f.index.keywords().collect();
+        ws.sort_unstable_by_key(|&w| (f.index.posting(w).len(), w));
+        // Pick three words with the two smallest on node 0, third on node 1.
+        let (a, b, c) = (ws[0], ws[1], *ws.last().unwrap());
+        let mut assignment = vec![0usize; f.vocab.len()];
+        assignment[c.index()] = 1;
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let r = engine.execute(&Query {
+            words: vec![a, b, c],
+        });
+        // First intersection is local (a,b on node 0); then the result ships
+        // to node 1.
+        let first = InvertedIndex::intersect(f.index.posting(a), f.index.posting(b));
+        assert_eq!(r.comm_bytes, (first.len() * 8) as u64);
+        // Pages equal the full intersection.
+        assert_eq!(r.pages, f.index.intersect_keywords(&[a, b, c]));
+    }
+
+    #[test]
+    fn union_ships_everything_to_largest() {
+        let f = fixture();
+        let (small, large) = two_words(&f);
+        let mut assignment = vec![0usize; f.vocab.len()];
+        assignment[small.index()] = 0;
+        assignment[large.index()] = 1;
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Union);
+        let r = engine.execute(&Query {
+            words: vec![small, large],
+        });
+        assert_eq!(r.comm_bytes, f.index.size_bytes(small));
+        assert_eq!(
+            r.pages.len(),
+            InvertedIndex::union(f.index.posting(small), f.index.posting(large)).len()
+        );
+    }
+
+    #[test]
+    fn replay_aggregates_consistently() {
+        let f = fixture();
+        let (a, b) = two_words(&f);
+        let mut assignment = vec![0usize; f.vocab.len()];
+        assignment[b.index()] = 1;
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let log = QueryLog {
+            queries: vec![
+                Query { words: vec![a] },
+                Query { words: vec![a, b] },
+                Query { words: vec![a, b] },
+            ],
+            universe: f.vocab.len(),
+        };
+        let stats = engine.replay(&log);
+        assert_eq!(stats.num_queries, 3);
+        assert_eq!(stats.multi_keyword_queries, 2);
+        assert_eq!(stats.local_queries, 1);
+        assert_eq!(stats.total_bytes, 2 * f.index.size_bytes(a));
+        assert!((stats.local_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(stats.mean_bytes_per_query() > 0.0);
+    }
+
+    #[test]
+    fn transfers_sum_to_comm_bytes_and_fill_node_totals() {
+        let f = fixture();
+        let mut ws: Vec<WordId> = f.index.keywords().collect();
+        ws.sort_unstable_by_key(|&w| (f.index.posting(w).len(), w));
+        let assignment: Vec<usize> = (0..f.vocab.len()).map(|w| w % 3).collect();
+        let cluster = Cluster::with_assignment(3, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let q = Query {
+            words: vec![ws[0], ws[1], *ws.last().unwrap()],
+        };
+        let r = engine.execute(&q);
+        let sum: u64 = r.transfers.iter().map(|t| t.bytes).sum();
+        assert_eq!(sum, r.comm_bytes);
+        for t in &r.transfers {
+            assert_ne!(t.from, t.to);
+            assert!(t.bytes > 0);
+        }
+
+        let log = QueryLog {
+            queries: vec![q],
+            universe: f.vocab.len(),
+        };
+        let stats = engine.replay(&log);
+        assert_eq!(stats.per_node_sent.iter().sum::<u64>(), stats.total_bytes);
+        assert_eq!(
+            stats.per_node_received.iter().sum::<u64>(),
+            stats.total_bytes
+        );
+        if stats.total_bytes > 0 {
+            let (node, traffic) = stats.hotspot().expect("traffic exists");
+            assert!(node < 3);
+            assert!(traffic <= 2 * stats.total_bytes);
+            assert!(stats.traffic_imbalance() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn hotspot_none_without_traffic() {
+        let f = fixture();
+        let assignment = vec![0usize; f.vocab.len()];
+        let cluster = Cluster::with_assignment(1, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let log = QueryLog {
+            queries: vec![],
+            universe: f.vocab.len(),
+        };
+        let stats = engine.replay(&log);
+        assert!(stats.hotspot().is_none());
+        assert_eq!(stats.traffic_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn empty_query_is_harmless() {
+        let f = fixture();
+        let assignment = vec![0usize; f.vocab.len()];
+        let cluster = Cluster::with_assignment(1, &f.index, &assignment);
+        for policy in [AggregationPolicy::Intersection, AggregationPolicy::Union] {
+            let engine = QueryEngine::new(&f.index, &cluster, policy);
+            let r = engine.execute(&Query { words: vec![] });
+            assert_eq!(r.comm_bytes, 0);
+            assert!(r.pages.is_empty());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Workload configuration and presets.
+
+/// Parameters of the synthetic workload generator.
+///
+/// The defaults mirror the paper's published trace statistics at a 10×
+/// reduced scale (see the crate docs and DESIGN.md for the calibration
+/// targets). All fields are public so experiments can deviate deliberately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Number of distinct non-stopword vocabulary words.
+    pub vocab_size: usize,
+    /// Number of stopwords mixed into documents (removed at index build).
+    pub num_stopwords: usize,
+    /// Number of documents in the corpus.
+    pub num_documents: usize,
+    /// Mean number of distinct non-stopword words per document
+    /// (paper: ≈114).
+    pub mean_doc_length: usize,
+    /// Half-width of the uniform jitter around `mean_doc_length`.
+    pub doc_length_jitter: usize,
+    /// Zipf exponent of word document-frequency popularity.
+    pub word_zipf_exponent: f64,
+    /// Number of queries in the generated log.
+    pub num_queries: usize,
+    /// Number of correlated phrases (keyword groups) in the query model.
+    pub num_phrases: usize,
+    /// Zipf exponent of phrase popularity. `0.75` yields the paper's
+    /// ≈177× skew between the 1st and 1000th most correlated pairs
+    /// (`1000^0.75 ≈ 178`).
+    pub phrase_zipf_exponent: f64,
+    /// Probability that a multi-word query is driven by a phrase rather
+    /// than independent words.
+    pub phrase_probability: f64,
+    /// Zipf exponent of *query-word* popularity for background (non-phrase)
+    /// words, over the same rank order as document popularity. Real query
+    /// unigram distributions are much flatter than document frequency (the
+    /// top query term is ~1% of query words, not ~10%), so this defaults
+    /// below [`TraceConfig::word_zipf_exponent`].
+    pub query_word_zipf_exponent: f64,
+    /// Zipf exponent used when selecting the member words of phrases.
+    /// Flatter than the document exponent so correlation mass spreads over
+    /// thousands of mid-frequency keywords instead of a few giant-index
+    /// hub words — matching the gradual cumulative-communication curve of
+    /// the paper's Figure 5.
+    pub phrase_word_zipf_exponent: f64,
+    /// Probability weights of query lengths `1..=6`; chosen so the mean is
+    /// ≈2.54 keywords (paper §4.1).
+    pub query_length_weights: [f64; 6],
+}
+
+impl TraceConfig {
+    /// Paper-calibrated workload at 10× reduced scale: ~25k words, 20k
+    /// documents, 200k queries. Suitable for the figure harnesses.
+    #[must_use]
+    pub fn paper_scaled() -> Self {
+        TraceConfig {
+            vocab_size: 25_000,
+            num_stopwords: 200,
+            num_documents: 20_000,
+            mean_doc_length: 114,
+            doc_length_jitter: 50,
+            word_zipf_exponent: 1.0,
+            num_queries: 200_000,
+            num_phrases: 3_000,
+            phrase_zipf_exponent: 0.75,
+            phrase_probability: 0.85,
+            query_word_zipf_exponent: 0.7,
+            phrase_word_zipf_exponent: 0.55,
+            query_length_weights: [0.245, 0.32, 0.22, 0.11, 0.06, 0.045],
+        }
+    }
+
+    /// Small workload for integration tests and examples: runs in well
+    /// under a second.
+    #[must_use]
+    pub fn small() -> Self {
+        TraceConfig {
+            vocab_size: 2_000,
+            num_stopwords: 30,
+            num_documents: 1_000,
+            mean_doc_length: 60,
+            doc_length_jitter: 20,
+            word_zipf_exponent: 1.0,
+            num_queries: 20_000,
+            num_phrases: 400,
+            phrase_zipf_exponent: 0.75,
+            phrase_probability: 0.85,
+            query_word_zipf_exponent: 0.7,
+            phrase_word_zipf_exponent: 0.55,
+            query_length_weights: [0.245, 0.32, 0.22, 0.11, 0.06, 0.045],
+        }
+    }
+
+    /// Minimal workload for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        TraceConfig {
+            vocab_size: 200,
+            num_stopwords: 5,
+            num_documents: 100,
+            mean_doc_length: 20,
+            doc_length_jitter: 5,
+            word_zipf_exponent: 1.0,
+            num_queries: 2_000,
+            num_phrases: 40,
+            phrase_zipf_exponent: 0.75,
+            phrase_probability: 0.85,
+            query_word_zipf_exponent: 0.7,
+            phrase_word_zipf_exponent: 0.55,
+            query_length_weights: [0.245, 0.32, 0.22, 0.11, 0.06, 0.045],
+        }
+    }
+
+    /// Mean of the query-length distribution implied by
+    /// [`TraceConfig::query_length_weights`].
+    #[must_use]
+    pub fn expected_query_length(&self) -> f64 {
+        let total: f64 = self.query_length_weights.iter().sum();
+        self.query_length_weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i + 1) as f64 * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Validates basic sanity of the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if a parameter is out of range
+    /// (zero sizes, probabilities outside `[0,1]`, …). Called by the
+    /// generators.
+    pub fn assert_valid(&self) {
+        assert!(self.vocab_size >= 2, "vocab_size must be at least 2");
+        assert!(self.num_documents > 0, "num_documents must be positive");
+        assert!(self.num_queries > 0, "num_queries must be positive");
+        assert!(self.num_phrases > 0, "num_phrases must be positive");
+        assert!(
+            self.mean_doc_length > 0 && self.mean_doc_length > self.doc_length_jitter,
+            "mean_doc_length must exceed its jitter"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.phrase_probability),
+            "phrase_probability must be a probability"
+        );
+        assert!(
+            self.query_length_weights.iter().all(|&w| w >= 0.0)
+                && self.query_length_weights.iter().sum::<f64>() > 0.0,
+            "query_length_weights must be non-negative and not all zero"
+        );
+        assert!(
+            self.word_zipf_exponent >= 0.0
+                && self.phrase_zipf_exponent >= 0.0
+                && self.query_word_zipf_exponent >= 0.0
+                && self.phrase_word_zipf_exponent >= 0.0,
+            "zipf exponents must be non-negative"
+        );
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        TraceConfig::paper_scaled().assert_valid();
+        TraceConfig::small().assert_valid();
+        TraceConfig::tiny().assert_valid();
+    }
+
+    #[test]
+    fn query_length_mean_matches_paper() {
+        let mean = TraceConfig::paper_scaled().expected_query_length();
+        assert!(
+            (mean - 2.54).abs() < 0.05,
+            "expected ≈2.54 keywords/query, got {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab_size")]
+    fn invalid_config_panics() {
+        let mut c = TraceConfig::tiny();
+        c.vocab_size = 1;
+        c.assert_valid();
+    }
+
+    #[test]
+    fn skew_calibration_math() {
+        // 1000^0.75 ≈ 178 ≈ the paper's 177× ratio.
+        let ratio = 1000f64.powf(TraceConfig::paper_scaled().phrase_zipf_exponent);
+        assert!((ratio - 177.0).abs() / 177.0 < 0.02);
+    }
+}

@@ -1,0 +1,121 @@
+//! Zipf-exponent estimation by log–log regression.
+//!
+//! Used to validate that generated workloads actually carry the skew they
+//! were configured with, and to characterise empirical rank–frequency
+//! curves the way the paper eyeballs its log-scale Figure 2A.
+
+/// Result of [`fit_zipf`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfFit {
+    /// Fitted exponent `s` of `f(rank) ∝ rank^-s`.
+    pub exponent: f64,
+    /// Coefficient of determination of the log–log regression (1.0 =
+    /// perfect power law).
+    pub r_squared: f64,
+}
+
+/// Fits `f(rank) ∝ rank^-s` to a descending sequence of positive values by
+/// ordinary least squares on `(ln rank, ln value)`. Returns `None` when
+/// fewer than 3 positive values are provided or the ranks are degenerate.
+///
+/// ```
+/// use cca_trace::fit_zipf;
+/// let values: Vec<f64> = (1..=100).map(|k| (k as f64).powf(-0.8)).collect();
+/// let fit = fit_zipf(&values).unwrap();
+/// assert!((fit.exponent - 0.8).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn fit_zipf(values_desc: &[f64]) -> Option<ZipfFit> {
+    let points: Vec<(f64, f64)> = values_desc
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v > 0.0)
+        .map(|(i, &v)| (((i + 1) as f64).ln(), v.ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+
+    // R² of the fit.
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Some(ZipfFit {
+        exponent: -slope,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_exact_power_laws() {
+        for s in [0.5f64, 0.75, 1.0, 1.5] {
+            let values: Vec<f64> = (1..=200).map(|k| (k as f64).powf(-s)).collect();
+            let fit = fit_zipf(&values).expect("fit");
+            assert!(
+                (fit.exponent - s).abs() < 1e-9,
+                "s = {s}: fitted {}",
+                fit.exponent
+            );
+            assert!(fit.r_squared > 0.999_999);
+        }
+    }
+
+    #[test]
+    fn recovers_sampled_zipf_approximately() {
+        let s = 0.8;
+        let z = Zipf::new(300, s);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = vec![0u64; 300];
+        for _ in 0..300_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head of the distribution (well-populated ranks only).
+        let values: Vec<f64> = counts[..100].iter().map(|&c| c as f64).collect();
+        let fit = fit_zipf(&values).expect("fit");
+        assert!(
+            (fit.exponent - s).abs() < 0.08,
+            "fitted {} for true {s}",
+            fit.exponent
+        );
+        assert!(fit.r_squared > 0.97, "r^2 {}", fit.r_squared);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(fit_zipf(&[]).is_none());
+        assert!(fit_zipf(&[1.0, 0.5]).is_none());
+        assert!(fit_zipf(&[1.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn uniform_values_fit_zero_exponent() {
+        let fit = fit_zipf(&[5.0; 50]).expect("fit");
+        assert!(fit.exponent.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Vocabulary of synthetic words.
+
+use crate::config::TraceConfig;
+use crate::zipf::Zipf;
+use rand::Rng;
+
+/// Identifier of a vocabulary word (index into [`Vocabulary::words`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// Index form of the identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A synthetic vocabulary.
+///
+/// Words `0..num_stopwords` are designated stopwords (they appear in
+/// documents but are removed at index-build time and never queried, mirroring
+/// the paper's SMART-stopword preprocessing). The remaining words are the
+/// queryable vocabulary with Zipf-distributed popularity.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    /// Word spellings, indexed by [`WordId`].
+    pub words: Vec<String>,
+    /// Number of leading stopwords.
+    pub num_stopwords: usize,
+    /// Popularity sampler over the non-stopword vocabulary (rank 0 = most
+    /// popular non-stopword).
+    popularity: Zipf,
+}
+
+/// A small embedded list of common stopwords, used to make the synthetic
+/// corpus exercise the same filtering step the paper applied with the SMART
+/// list.
+const SEED_STOPWORDS: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
+    "are", "as", "with", "his", "they", "i", "at", "be", "this", "have", "from", "or", "one",
+    "had", "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+];
+
+impl Vocabulary {
+    /// Generates a vocabulary per `config`. Word spellings are synthetic
+    /// syllable strings; the first `config.num_stopwords` entries are
+    /// stopwords (drawn from an embedded list, extended synthetically if
+    /// more are requested).
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Self {
+        config.assert_valid();
+        let mut words = Vec::with_capacity(config.num_stopwords + config.vocab_size);
+        for i in 0..config.num_stopwords {
+            if i < SEED_STOPWORDS.len() {
+                words.push(SEED_STOPWORDS[i].to_string());
+            } else {
+                words.push(format!("stop{i}"));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while words.len() < config.num_stopwords + config.vocab_size {
+            let w = synth_word(rng);
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        Vocabulary {
+            words,
+            num_stopwords: config.num_stopwords,
+            popularity: Zipf::new(config.vocab_size, config.word_zipf_exponent),
+        }
+    }
+
+    /// Total number of words including stopwords.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of queryable (non-stopword) words.
+    #[must_use]
+    pub fn num_content_words(&self) -> usize {
+        self.words.len() - self.num_stopwords
+    }
+
+    /// Returns `true` if `w` is a designated stopword.
+    #[must_use]
+    pub fn is_stopword(&self, w: WordId) -> bool {
+        w.index() < self.num_stopwords
+    }
+
+    /// Spelling of `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[must_use]
+    pub fn spelling(&self, w: WordId) -> &str {
+        &self.words[w.index()]
+    }
+
+    /// Samples a content word with Zipf popularity: popularity rank `r`
+    /// maps to word id `num_stopwords + r`.
+    pub fn sample_content_word<R: Rng + ?Sized>(&self, rng: &mut R) -> WordId {
+        let rank = self.popularity.sample(rng);
+        WordId((self.num_stopwords + rank) as u32)
+    }
+
+    /// Popularity probability of the content word with id `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is a stopword or out of range.
+    #[must_use]
+    pub fn popularity(&self, w: WordId) -> f64 {
+        assert!(!self.is_stopword(w), "stopwords have no query popularity");
+        self.popularity.probability(w.index() - self.num_stopwords)
+    }
+}
+
+/// Generates a pronounceable-ish synthetic word of 2–5 syllables.
+fn synth_word<R: Rng + ?Sized>(rng: &mut R) -> String {
+    const ONSETS: &[&str] = &[
+        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+        "br", "ch", "cl", "dr", "fl", "gr", "pl", "pr", "sh", "sl", "st", "th", "tr",
+    ];
+    const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+    let syllables = 2 + rng.random_range(0..4);
+    let mut w = String::new();
+    for _ in 0..syllables {
+        w.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+        w.push_str(NUCLEI[rng.random_range(0..NUCLEI.len())]);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vocab() -> Vocabulary {
+        let mut rng = StdRng::seed_from_u64(11);
+        Vocabulary::generate(&TraceConfig::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = TraceConfig::tiny();
+        let v = vocab();
+        assert_eq!(v.len(), cfg.vocab_size + cfg.num_stopwords);
+        assert_eq!(v.num_content_words(), cfg.vocab_size);
+    }
+
+    #[test]
+    fn words_are_unique() {
+        let v = vocab();
+        let set: std::collections::HashSet<_> = v.words.iter().collect();
+        assert_eq!(set.len(), v.words.len());
+    }
+
+    #[test]
+    fn stopword_designation() {
+        let v = vocab();
+        assert!(v.is_stopword(WordId(0)));
+        assert!(!v.is_stopword(WordId(v.num_stopwords as u32)));
+        assert_eq!(v.spelling(WordId(0)), "the");
+    }
+
+    #[test]
+    fn sampled_words_are_never_stopwords() {
+        let v = vocab();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let w = v.sample_content_word(&mut rng);
+            assert!(!v.is_stopword(w));
+            assert!(w.index() < v.len());
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed_toward_low_ids() {
+        let v = vocab();
+        let first = v.popularity(WordId(v.num_stopwords as u32));
+        let last = v.popularity(WordId((v.len() - 1) as u32));
+        assert!(first > last * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stopwords have no query popularity")]
+    fn popularity_of_stopword_panics() {
+        let v = vocab();
+        let _ = v.popularity(WordId(0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Secondary capacity constraints (paper §3.3): bandwidth-aware placement.
+//!
+//! "Other node capacity constraints such as network bandwidth and CPU
+//! processing capability may also be present. In principle, we can address
+//! these problems by introducing more capacity constraints into our linear
+//! programming problem in a way similar to (9)."
+//!
+//! This example builds a cluster where storage alone would happily
+//! co-locate the hottest keyword group on one node, but that node's
+//! bandwidth budget cannot serve the combined request rate — so the
+//! placement must spread the hot group while still co-locating everything
+//! the bandwidth allows.
+//!
+//! Run with: `cargo run --release --example multi_resource`
+
+use cca::algo::{audit_placement, place, CcaProblem, Resource, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_nodes = 3;
+
+    // 9 keyword indices: a hot trio (high request rate), a warm trio, a
+    // cold trio. Storage is uniform; bandwidth demand tracks how often an
+    // index is read.
+    let mut b = CcaProblem::builder();
+    let names = [
+        "news", "weather", "sports", // hot
+        "travel", "hotels", "flights", // warm
+        "archive", "legal", "manuals", // cold
+    ];
+    let sizes = [40u64; 9];
+    let bandwidth = [90u64, 80, 75, 15, 15, 15, 5, 5, 5];
+    let objs: Vec<_> = names
+        .iter()
+        .zip(sizes)
+        .map(|(n, s)| b.add_object(*n, s))
+        .collect();
+    // Strong intra-group correlations.
+    for g in 0..3 {
+        for i in 0..3 {
+            for j in i + 1..3 {
+                b.add_pair(objs[g * 3 + i], objs[g * 3 + j], 0.5, 40.0)?;
+            }
+        }
+    }
+    // Storage: each node could hold an entire group and more.
+    b.uniform_capacities(num_nodes, 200);
+
+    // First, solve WITHOUT the bandwidth constraint.
+    let storage_only = b.clone().build()?;
+    let report = place(&storage_only, &Strategy::lprr())?;
+    println!("storage-only placement:");
+    print_groups(&storage_only, &report.placement, &names);
+    println!(
+        "  bandwidth per node would be: {:?}  (node budget: 140)",
+        bandwidth_loads(&report.placement, &bandwidth, num_nodes)
+    );
+
+    // Now add the bandwidth dimension: each node serves at most 140
+    // units/s, but the hot trio alone needs 245 — no node can host even
+    // two hot indices (90 + 80 > 140).
+    b.add_resource(Resource::new(
+        "bandwidth",
+        bandwidth.to_vec(),
+        vec![140; num_nodes],
+    ));
+    let constrained = b.build()?;
+    let report = place(&constrained, &Strategy::lprr())?;
+    println!();
+    println!("bandwidth-constrained placement:");
+    print_groups(&constrained, &report.placement, &names);
+    let loads = bandwidth_loads(&report.placement, &bandwidth, num_nodes);
+    println!("  bandwidth per node: {loads:?}  (node budget: 140)");
+    assert!(loads.iter().all(|&l| l as f64 <= 140.0 * 1.05 + 1e-9));
+
+    println!();
+    let audit = audit_placement(&constrained, &report.placement, 3);
+    print!("{}", audit.report());
+    println!();
+    println!("The hot trio cannot share a node under the bandwidth budget, so");
+    println!("the optimizer splits exactly it — and keeps the warm and cold");
+    println!("groups co-located, paying only the unavoidable hot-pair cost.");
+    Ok(())
+}
+
+fn print_groups(problem: &CcaProblem, placement: &cca::algo::Placement, names: &[&str]) {
+    for (i, name) in names.iter().enumerate() {
+        let obj = cca::algo::ObjectId(i as u32);
+        print!("  {name}->n{}", placement.node_of(obj));
+        if i % 3 == 2 {
+            println!();
+        }
+    }
+    let _ = problem;
+}
+
+fn bandwidth_loads(placement: &cca::algo::Placement, bw: &[u64], n: usize) -> Vec<u64> {
+    let mut loads = vec![0u64; n];
+    for (i, &b) in bw.iter().enumerate() {
+        loads[placement.node_of(cca::algo::ObjectId(i as u32))] += b;
+    }
+    loads
+}

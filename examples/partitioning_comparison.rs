@@ -1,0 +1,79 @@
+//! Keyword-based vs document-based partitioning (paper footnote 1).
+//!
+//! The paper optimises placement *within* keyword-based partitioning; its
+//! footnote notes that document-based partitioning is the other standard
+//! scheme. This example puts the two side by side on the same workload:
+//!
+//! * document-based: zero inter-index traffic, but every node executes
+//!   every query and ships its partial result list;
+//! * keyword-based: only the involved nodes work, but the indices
+//!   themselves travel — which is exactly the cost correlation-aware
+//!   placement attacks.
+//!
+//! Run with: `cargo run --release --example partitioning_comparison`
+
+use cca::algo::Strategy;
+use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::search::docpart::DocPartitionedCluster;
+use cca::search::StopwordList;
+use cca::trace::TraceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = 10;
+    let mut config = PipelineConfig::new(TraceConfig::small(), nodes);
+    config.seed = 404;
+    let pipeline = Pipeline::build(&config);
+    let scope = 400;
+
+    println!(
+        "workload: {} queries over {} keywords, {nodes} nodes",
+        pipeline.workload.queries.len(),
+        pipeline.index.num_keywords()
+    );
+    println!();
+    println!(
+        "{:<34} {:>14} {:>18}",
+        "scheme", "bytes moved", "node executions"
+    );
+
+    // Keyword-based partitioning under each placement strategy.
+    for (name, strategy, s) in [
+        ("keyword-partitioned, random hash", Strategy::RandomHash, None),
+        ("keyword-partitioned, greedy", Strategy::Greedy, Some(scope)),
+        ("keyword-partitioned, LPRR", Strategy::lprr(), Some(scope)),
+    ] {
+        let eval = pipeline.evaluate(&strategy, s)?;
+        // Keyword partitioning touches at most one node per queried keyword.
+        let executions: u64 = pipeline
+            .workload
+            .queries
+            .iter()
+            .map(|q| q.words.len() as u64)
+            .sum();
+        println!(
+            "{:<34} {:>14} {:>18}",
+            name, eval.replay.total_bytes, executions
+        );
+    }
+
+    // Document-based partitioning (placement-insensitive).
+    let dp = DocPartitionedCluster::build(
+        &pipeline.workload.corpus,
+        &pipeline.workload.vocabulary,
+        &StopwordList::smart(),
+        nodes,
+    );
+    let stats = dp.replay(&pipeline.workload.queries);
+    println!(
+        "{:<34} {:>14} {:>18}",
+        "document-partitioned", stats.total_bytes, stats.node_executions
+    );
+
+    println!();
+    println!("On this workload document partitioning is worst on BOTH axes: it");
+    println!("ships every node's partial result list for every query and burns");
+    println!("every node on every query, while keyword partitioning touches only");
+    println!("the queried keywords' nodes — and correlation-aware placement");
+    println!("shrinks its bytes far below both alternatives.");
+    Ok(())
+}

@@ -1,0 +1,282 @@
+//! `cca` — command-line front end for the correlation-aware placement
+//! pipeline.
+//!
+//! ```text
+//! cca workload [--preset small|paper] [--seed N]
+//!     print workload and correlation statistics (Fig 2-style)
+//!
+//! cca evaluate [--preset small|paper] [--seed N] [--nodes N] [--scope N]
+//!     place with all three strategies, replay the trace, print the table
+//!
+//! cca place [--strategy random|greedy|lprr] [--nodes N] [--scope N] ...
+//!     compute one placement and print per-node loads
+//!
+//! cca export-lp [--scope N] [--out FILE] ...
+//!     write the scoped Figure-4 LP in CPLEX LP format (for external
+//!     solvers such as the LPsolve the paper used)
+//!
+//! cca replay --placement FILE [--preset ...] [--seed N] [--nodes N]
+//!     load a placement saved by `cca place --out` and replay the trace
+//! ```
+//!
+//! `place --out FILE` saves the computed placement; `workload --out FILE`
+//! dumps the query log in the v1 text format.
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use cca::algo::{figure4::Figure4Lp, importance_ranking, scope_subproblem, Strategy};
+use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::trace::TraceConfig;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Args {
+    preset: String,
+    seed: u64,
+    nodes: usize,
+    scope: Option<usize>,
+    strategy: String,
+    out: Option<String>,
+    placement: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            preset: "small".into(),
+            seed: 42,
+            nodes: 10,
+            scope: Some(400),
+            strategy: "lprr".into(),
+            out: None,
+            placement: None,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: cca <workload|evaluate|place|replay|export-lp> [options]\n\
+     options:\n\
+       --preset small|paper   workload size (default small)\n\
+       --seed N               workload seed (default 42)\n\
+       --nodes N              cluster size (default 10)\n\
+       --scope N              optimization scope; 'full' for all objects (default 400)\n\
+       --strategy S           random|greedy|lprr (place only; default lprr)\n\
+       --out FILE             output path (place/workload/export-lp)\n\
+       --placement FILE       saved placement to replay (replay only)"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--preset" => args.preset = value()?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--nodes" => args.nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--scope" => {
+                let v = value()?;
+                args.scope = if v == "full" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("--scope: {e}"))?)
+                };
+            }
+            "--strategy" => args.strategy = value()?,
+            "--out" => args.out = Some(value()?),
+            "--placement" => args.placement = Some(value()?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn trace_config(args: &Args) -> Result<TraceConfig, String> {
+    match args.preset.as_str() {
+        "small" => Ok(TraceConfig::small()),
+        "paper" => Ok(TraceConfig::paper_scaled()),
+        "tiny" => Ok(TraceConfig::tiny()),
+        other => Err(format!("unknown preset {other} (small|paper|tiny)")),
+    }
+}
+
+fn build_pipeline(args: &Args) -> Result<Pipeline, String> {
+    let mut config = PipelineConfig::new(trace_config(args)?, args.nodes);
+    config.seed = args.seed;
+    eprintln!(
+        "building {} workload (seed {}, {} nodes)...",
+        args.preset, args.seed, args.nodes
+    );
+    Ok(Pipeline::build(&config))
+}
+
+fn strategy(name: &str) -> Result<Strategy, String> {
+    match name {
+        "random" | "random-hash" => Ok(Strategy::RandomHash),
+        "greedy" => Ok(Strategy::Greedy),
+        "lprr" => Ok(Strategy::lprr()),
+        other => Err(format!("unknown strategy {other} (random|greedy|lprr)")),
+    }
+}
+
+fn cmd_workload(args: &Args) -> Result<(), String> {
+    let p = build_pipeline(args)?;
+    println!("documents:         {}", p.workload.corpus.len());
+    println!("indexed keywords:  {}", p.index.num_keywords());
+    println!("total index bytes: {}", p.index.total_bytes());
+    print!(
+        "{}",
+        cca::trace::WorkloadSummary::of(&p.workload.queries, 200).report()
+    );
+    println!("problem pairs:        {}", p.problem.pairs().len());
+    println!("node capacity:        {} bytes", p.problem.capacity(0));
+    if let Some(path) = &args.out {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        cca::trace::write_query_log(&mut file, &p.workload.queries)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote query log to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let p = build_pipeline(args)?;
+    let base = p
+        .evaluate(&Strategy::RandomHash, None)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{:<12} {:>16} {:>10} {:>12} {:>10} {:>10}",
+        "strategy", "bytes moved", "vs random", "local frac", "storage", "traffic"
+    );
+    println!(
+        "{:<12} {:>16} {:>10} {:>12} {:>10} {:>10}",
+        "", "", "", "", "imbalance", "imbalance"
+    );
+    for (name, s, scope) in [
+        ("random-hash", Strategy::RandomHash, None),
+        ("greedy", Strategy::Greedy, args.scope),
+        ("lprr", Strategy::lprr(), args.scope),
+    ] {
+        let eval = p.evaluate(&s, scope).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} {:>16} {:>9.1}% {:>12.3} {:>10.2} {:>10.2}",
+            name,
+            eval.replay.total_bytes,
+            100.0 * eval.replay.total_bytes as f64 / base.replay.total_bytes as f64,
+            eval.replay.local_fraction(),
+            eval.imbalance,
+            eval.replay.traffic_imbalance()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_place(args: &Args) -> Result<(), String> {
+    let p = build_pipeline(args)?;
+    let s = strategy(&args.strategy)?;
+    let report = p.place(&s, args.scope).map_err(|e| e.to_string())?;
+    println!("strategy:   {}", report.strategy);
+    println!("model cost: {:.2}", report.cost);
+    let audit = cca::algo::audit_placement(&p.problem, &report.placement, 5);
+    print!("{}", audit.report());
+    let loads = report.placement.loads(&p.problem);
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    println!("per-node loads (bytes; mean {mean:.0}):");
+    for (k, load) in loads.iter().enumerate() {
+        println!("  node {k:>3}: {load:>12} ({:.2}x mean)", *load as f64 / mean);
+    }
+    if let Some(path) = &args.out {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        cca::algo::write_placement(&mut file, &p.problem, &report.placement)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote placement to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args
+        .placement
+        .as_ref()
+        .ok_or("replay needs --placement FILE")?;
+    let p = build_pipeline(args)?;
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let placement =
+        cca::algo::read_placement(file, &p.problem).map_err(|e| format!("{path}: {e}"))?;
+    let stats = p.replay(&placement);
+    let base = p
+        .evaluate(&Strategy::RandomHash, None)
+        .map_err(|e| e.to_string())?;
+    println!("bytes moved:   {}", stats.total_bytes);
+    println!(
+        "vs random:     {:.1}%",
+        100.0 * stats.total_bytes as f64 / base.replay.total_bytes as f64
+    );
+    println!("local queries: {:.3}", stats.local_fraction());
+    Ok(())
+}
+
+fn cmd_export_lp(args: &Args) -> Result<(), String> {
+    let p = build_pipeline(args)?;
+    let scope = args.scope.unwrap_or(p.problem.num_objects());
+    let ranking = importance_ranking(&p.problem);
+    let keep: Vec<_> = ranking.into_iter().take(scope).collect();
+    let sub = scope_subproblem(&p.problem, &keep, false);
+    eprintln!(
+        "building Figure-4 LP for {} objects, {} pairs, {} nodes...",
+        sub.num_objects(),
+        sub.pairs().len(),
+        sub.num_nodes()
+    );
+    let lp = Figure4Lp::build(&sub);
+    let text = cca::lp::write_lp(&lp.model);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} bytes to {path}", text.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "workload" => cmd_workload(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "place" => cmd_place(&args),
+        "replay" => cmd_replay(&args),
+        "export-lp" => cmd_export_lp(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

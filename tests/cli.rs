@@ -1,0 +1,127 @@
+//! Integration tests driving the `cca` binary end to end.
+
+use std::process::Command;
+
+fn cca() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cca"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let output = cca().args(args).output().expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: cca"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage: cca"));
+}
+
+#[test]
+fn bad_option_fails() {
+    let (ok, _, stderr) = run(&["workload", "--bogus", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"));
+
+    let (ok, _, stderr) = run(&["workload", "--seed"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"));
+
+    let (ok, _, stderr) = run(&["workload", "--preset", "gigantic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown preset"));
+}
+
+#[test]
+fn workload_reports_statistics() {
+    let (ok, stdout, _) = run(&["workload", "--preset", "tiny", "--seed", "7"]);
+    assert!(ok, "stdout: {stdout}");
+    for needle in [
+        "documents:",
+        "indexed keywords:",
+        "mean query length:",
+        "problem pairs:",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in {stdout}");
+    }
+}
+
+#[test]
+fn evaluate_shows_all_strategies() {
+    let (ok, stdout, _) = run(&[
+        "evaluate", "--preset", "tiny", "--nodes", "4", "--scope", "50",
+    ]);
+    assert!(ok, "stdout: {stdout}");
+    for needle in ["random-hash", "greedy", "lprr", "100.0%"] {
+        assert!(stdout.contains(needle), "missing {needle} in {stdout}");
+    }
+}
+
+#[test]
+fn place_save_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join(format!("cca-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("placement.tsv");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    let (ok, stdout, stderr) = run(&[
+        "place", "--preset", "tiny", "--nodes", "3", "--scope", "40", "--strategy", "greedy",
+        "--out", path_str,
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("per-node loads"));
+    let saved = std::fs::read_to_string(&path).expect("placement file written");
+    assert!(saved.starts_with("# cca-placement v1"));
+
+    let (ok, stdout, stderr) = run(&[
+        "replay", "--preset", "tiny", "--nodes", "3", "--placement", path_str,
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("bytes moved:"));
+    assert!(stdout.contains("vs random:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_lp_emits_parseable_lp() {
+    let (ok, stdout, _) = run(&[
+        "export-lp", "--preset", "tiny", "--nodes", "2", "--scope", "6",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Minimize"));
+    assert!(stdout.contains("Subject To"));
+    // The emitted text must round-trip through our own parser.
+    let model = cca::lp::parse_lp(&stdout).expect("parseable LP");
+    assert!(model.num_vars() > 0);
+    assert!(model.num_constraints() > 0);
+}
+
+#[test]
+fn workload_saves_readable_query_log() {
+    let dir = std::env::temp_dir().join(format!("cca-cli-log-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("queries.log");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    let (ok, _, stderr) = run(&["workload", "--preset", "tiny", "--out", path_str]);
+    assert!(ok, "stderr: {stderr}");
+    let file = std::fs::File::open(&path).expect("log written");
+    let log = cca::trace::read_query_log(file).expect("parseable log");
+    assert!(!log.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
