@@ -11,8 +11,8 @@
 
 use cca::trace::{DriftConfig, PairStats, TraceConfig, Workload};
 use cca_bench::{header, quick_mode, BENCH_SEED};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 fn main() {
     // Correlation statistics need a deep log so Poisson sampling noise

@@ -5,17 +5,17 @@
 //! keywords took "no more than 48 hours" with LPsolve — "a manageable
 //! offline computation cost". This harness measures our offline cost as a
 //! function of the optimization scope, for each relaxation method, plus
-//! Criterion micro-benchmarks of the simplex implementations themselves.
+//! micro-benchmarks of the simplex implementations themselves.
 
 use cca::algo::{
     greedy_placement, solve_relaxation, importance_ranking, scope_subproblem, RelaxMethod,
     RelaxOptions, Strategy,
 };
 use cca::lp::{Model, Relation, SolverOptions};
+use cca_bench::timing;
 use cca_bench::{bench_pipeline, header, quick_mode};
-use criterion::{BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cca_rand::rngs::StdRng;
+use cca_rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// A random dense-ish LP for solver micro-benchmarks.
@@ -107,34 +107,24 @@ fn offline_cost_table() {
     println!("# shortcut (see DESIGN.md) reduces the offline cost to seconds.");
 }
 
-fn criterion_benches() {
-    let mut c = Criterion::default()
-        .sample_size(10)
-        .configure_from_args();
-
-    let mut group = c.benchmark_group("lp_solvers");
+fn solver_benches() {
+    let mut group = timing::group("lp_solvers").sample_size(10);
     for &(vars, rows) in &[(20usize, 15usize), (60, 40), (150, 100)] {
         let model = random_lp(vars, rows, 99);
         // Skip dense on the largest size to keep bench time sane.
         if vars <= 60 {
-            group.bench_with_input(
-                BenchmarkId::new("dense_simplex", format!("{vars}x{rows}")),
-                &model,
-                |b, m| b.iter(|| m.solve_dense().expect("solvable")),
-            );
+            group.bench(&format!("dense_simplex/{vars}x{rows}"), || {
+                model.solve_dense().expect("solvable")
+            });
         }
-        group.bench_with_input(
-            BenchmarkId::new("sparse_revised_simplex", format!("{vars}x{rows}")),
-            &model,
-            |b, m| b.iter(|| m.solve(&SolverOptions::default()).expect("solvable")),
-        );
+        group.bench(&format!("sparse_revised_simplex/{vars}x{rows}"), || {
+            model.solve(&SolverOptions::default()).expect("solvable")
+        });
     }
     group.finish();
-
-    c.final_summary();
 }
 
 fn main() {
     offline_cost_table();
-    criterion_benches();
+    solver_benches();
 }

@@ -1,46 +1,40 @@
-//! Criterion micro-benchmarks of the placement substrate: rounding,
-//! baselines, repair, index intersection and trace replay throughput.
+//! Micro-benchmarks of the placement substrate: rounding, baselines,
+//! repair, index intersection and trace replay throughput.
 
 use cca::algo::{
     construct_clustered_vertex, greedy_placement, random_hash_placement, round_once, Strategy,
 };
 use cca::hashing::md5;
 use cca::search::{AggregationPolicy, InvertedIndex, QueryEngine};
+use cca_bench::timing::{self, Throughput};
 use cca_bench::{quick_pipeline, BENCH_SEED};
-use criterion::{Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 fn main() {
-    let mut c = Criterion::default()
-        .sample_size(10)
-        .configure_from_args();
-
     let pipeline = quick_pipeline(10);
     let problem = &pipeline.problem;
 
     {
-        let mut group = c.benchmark_group("placement");
-        group.bench_function("random_hash", |b| {
-            b.iter(|| random_hash_placement(problem))
-        });
-        group.bench_function("greedy", |b| b.iter(|| greedy_placement(problem)));
-        group.bench_function("clustered_vertex", |b| {
-            b.iter(|| construct_clustered_vertex(problem).expect("feasible"))
+        let mut group = timing::group("placement").sample_size(10);
+        group.bench("random_hash", || random_hash_placement(problem));
+        group.bench("greedy", || greedy_placement(problem));
+        group.bench("clustered_vertex", || {
+            construct_clustered_vertex(problem).expect("feasible")
         });
         let vertex = construct_clustered_vertex(problem).expect("feasible");
-        group.bench_function("round_once", |b| {
-            let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-            b.iter(|| round_once(&vertex.fractional, &mut rng))
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        group.bench("round_once", || {
+            round_once(&vertex.fractional, &mut rng).expect("stochastic vertex")
         });
         group.finish();
     }
 
     {
-        let mut group = c.benchmark_group("search");
+        let mut group = timing::group("search").sample_size(10);
         let words: Vec<_> = pipeline.index.keywords().take(3).collect();
-        group.bench_function("intersect_3_keywords", |b| {
-            b.iter(|| pipeline.index.intersect_keywords(&words))
+        group.bench("intersect_3_keywords", || {
+            pipeline.index.intersect_keywords(&words)
         });
         let report = pipeline
             .place(&Strategy::RandomHash, None)
@@ -48,48 +42,43 @@ fn main() {
         let cluster = pipeline.cluster_for(&report.placement);
         let engine = QueryEngine::new(&pipeline.index, &cluster, AggregationPolicy::Intersection);
         group.throughput(Throughput::Elements(pipeline.workload.queries.len() as u64));
-        group.bench_function("replay_query_log", |b| {
-            b.iter(|| engine.replay(&pipeline.workload.queries))
+        group.bench("replay_query_log", || {
+            engine.replay(&pipeline.workload.queries)
         });
         group.finish();
     }
 
     {
-        let mut group = c.benchmark_group("migration");
+        let mut group = timing::group("migration").sample_size(10);
         let current = random_hash_placement(problem);
         let desired = greedy_placement(problem);
-        group.bench_function("reconcile_unbudgeted", |b| {
-            b.iter(|| {
-                cca::algo::reconcile(
-                    problem,
-                    &current,
-                    &desired,
-                    u64::MAX,
-                    &cca::algo::MigrateOptions::default(),
-                )
-            })
+        group.bench("reconcile_unbudgeted", || {
+            cca::algo::reconcile(
+                problem,
+                &current,
+                &desired,
+                u64::MAX,
+                &cca::algo::MigrateOptions::default(),
+            )
         });
-        group.bench_function("drain_node", |b| {
-            b.iter(|| {
-                cca::algo::drain_node(
-                    problem,
-                    &desired,
-                    0,
-                    &cca::algo::MigrateOptions::default(),
-                )
-            })
+        group.bench("drain_node", || {
+            cca::algo::drain_node(
+                problem,
+                &desired,
+                0,
+                &cca::algo::MigrateOptions::default(),
+            )
         });
         group.finish();
     }
 
     {
-        let mut group = c.benchmark_group("hashing");
+        let mut group = timing::group("hashing").sample_size(10);
         let data = vec![0xabu8; 4096];
         group.throughput(Throughput::Bytes(data.len() as u64));
-        group.bench_function("md5_4k", |b| b.iter(|| md5::digest(&data)));
+        group.bench("md5_4k", || md5::digest(&data));
         group.finish();
     }
 
     let _ = InvertedIndex::default(); // keep the import obviously used
-    c.final_summary();
 }

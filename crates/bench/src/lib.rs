@@ -6,6 +6,8 @@
 //! runs. This crate holds the common plumbing: canonical pipeline
 //! construction and table formatting.
 
+pub mod timing;
+
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
 

@@ -1,0 +1,179 @@
+//! First-party micro-benchmark timing.
+//!
+//! A small, dependency-free stand-in for the slice of criterion the two
+//! micro-benches used: per-function calibration (scale the inner iteration
+//! count until one sample is long enough to time reliably), a fixed number
+//! of samples, and TSV reporting of median/min per-iteration time plus
+//! optional throughput — deterministic columns that diff cleanly across
+//! runs, like the rest of the bench output.
+//!
+//! Timings are wall-clock and machine-dependent by nature; the point of
+//! these rows is relative comparison (dense vs sparse simplex, placement
+//! strategies against each other) on one machine, not absolute numbers.
+
+use crate::quick_mode;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How work scales per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A named group of timed functions, printed as one TSV table.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    header_printed: bool,
+}
+
+/// Starts a benchmark group. Call [`BenchGroup::bench`] for each function
+/// and [`BenchGroup::finish`] when done.
+#[must_use]
+pub fn group(name: &str) -> BenchGroup {
+    BenchGroup {
+        name: name.to_string(),
+        sample_size: if quick_mode() { 5 } else { 10 },
+        throughput: None,
+        header_printed: false,
+    }
+}
+
+impl BenchGroup {
+    /// Sets the number of timed samples per function (default 10, or 5 in
+    /// quick mode).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work amount for subsequent [`BenchGroup::bench`]
+    /// calls, adding a throughput column.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Times `f`, printing one TSV row: median and minimum per-iteration
+    /// wall time over the samples, the calibrated inner iteration count,
+    /// and throughput when configured.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        if !self.header_printed {
+            println!();
+            println!("## bench group: {}", self.name);
+            println!("benchmark\tmedian\tmin\titers/sample\tthroughput");
+            self.header_printed = true;
+        }
+        let target = Duration::from_millis(if quick_mode() { 5 } else { 25 });
+        let iters = calibrate(&mut f, target);
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t0.elapsed().as_secs_f64() / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let throughput = match self.throughput {
+            None => "-".to_string(),
+            Some(Throughput::Elements(n)) => format!("{:.0} elem/s", n as f64 / median),
+            Some(Throughput::Bytes(n)) => {
+                format!("{:.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+        };
+        println!(
+            "{id}\t{}\t{}\t{iters}\t{throughput}",
+            format_time(median),
+            format_time(min),
+        );
+    }
+
+    /// Ends the group (prints a trailing blank line for readability).
+    pub fn finish(self) {
+        if self.header_printed {
+            println!();
+        }
+    }
+}
+
+/// Grows the inner iteration count until one sample takes at least
+/// `target`, so short functions are timed over many iterations and a
+/// sample is never dominated by timer resolution.
+fn calibrate<T>(f: &mut impl FnMut() -> T, target: Duration) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        if elapsed >= target || iters >= 1 << 24 {
+            return iters;
+        }
+        let grow = if elapsed.is_zero() {
+            100.0
+        } else {
+            (target.as_secs_f64() / elapsed.as_secs_f64()).clamp(1.5, 100.0)
+        };
+        iters = ((iters as f64 * grow) as u64).max(iters + 1);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrate_scales_up_cheap_functions() {
+        let mut x = 0u64;
+        let iters = calibrate(&mut || x = x.wrapping_add(1), Duration::from_micros(200));
+        assert!(iters > 1, "a no-op body must need many iterations");
+    }
+
+    #[test]
+    fn calibrate_keeps_slow_functions_at_one_iteration() {
+        let iters = calibrate(
+            &mut || std::thread::sleep(Duration::from_millis(2)),
+            Duration::from_millis(1),
+        );
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert_eq!(format_time(2.5), "2.500 s");
+        assert_eq!(format_time(0.0025), "2.500 ms");
+        assert_eq!(format_time(2.5e-6), "2.500 µs");
+        assert_eq!(format_time(2.5e-8), "25.0 ns");
+    }
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut g = group("smoke").sample_size(2);
+        g.throughput(Throughput::Bytes(64));
+        g.bench("noop", || 1 + 1);
+        g.finish();
+    }
+}

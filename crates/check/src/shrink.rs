@@ -1,0 +1,275 @@
+//! Bounded shrinking.
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+
+/// Produces simpler variants of a failing case.
+///
+/// The contract: every returned candidate must be *strictly simpler* under
+/// some well-founded order (smaller magnitude, shorter vector, …) so greedy
+/// descent terminates, and must satisfy the same invariants the generator
+/// guarantees — the harness re-runs the property on candidates directly.
+/// Structured case types should implement this by hand; when an index field
+/// refers into a sibling vector, either keep the vector length fixed or
+/// make the consumer total (e.g. index modulo length).
+pub trait Shrink: Sized {
+    /// Returns candidate simplifications, simplest first. An empty vector
+    /// means the value is already minimal.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v > 0 {
+                    out.push(0);
+                }
+                if v > 1 {
+                    out.push(v / 2);
+                    out.push(v - 1);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+shrink_unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed_impl {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                }
+                if v < 0 && v != <$t>::MIN {
+                    out.push(-v); // prefer positive values of equal magnitude
+                }
+                if v.unsigned_abs() > 1 {
+                    out.push(v / 2);
+                    out.push(if v > 0 { v - 1 } else { v + 1 });
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+shrink_signed_impl!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Floats shrink toward zero through round magnitudes.
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 || !v.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        if v < 0.0 {
+            out.push(-v);
+        }
+        if v.abs() > 1.0 {
+            out.push(v.trunc());
+            out.push(v / 2.0);
+        }
+        out.retain(|c| c != &v);
+        out.dedup();
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Structural shrinks first: dropping elements simplifies fastest.
+        if !self.is_empty() {
+            out.push(Vec::new());
+            if self.len() > 1 {
+                out.push(self[..self.len() / 2].to_vec());
+            }
+            for i in 0..self.len() {
+                let mut shorter = self.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Then element-wise shrinks, one position at a time.
+        for (i, item) in self.iter().enumerate() {
+            for candidate in item.shrink() {
+                let mut v = self.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = vec![String::new()];
+        if chars.len() > 1 {
+            out.push(chars[..chars.len() / 2].iter().collect());
+        }
+        for i in 0..chars.len() {
+            let mut shorter = chars.clone();
+            shorter.remove(i);
+            out.push(shorter.into_iter().collect());
+        }
+        out
+    }
+}
+
+/// Sets shrink structurally only (drop elements), never element-wise:
+/// mutating an element could collide with another and silently change the
+/// set size, which set-based generators treat as an invariant.
+impl<T: Ord + Clone> Shrink for BTreeSet<T> {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![BTreeSet::new()];
+        for item in self {
+            let mut smaller = self.clone();
+            smaller.remove(item);
+            out.push(smaller);
+        }
+        out
+    }
+}
+
+impl<T: Eq + Hash + Clone> Shrink for HashSet<T> {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![HashSet::new()];
+        for item in self {
+            let mut smaller = self.clone();
+            smaller.remove(item);
+            out.push(smaller);
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple_impl {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = candidate;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+shrink_tuple_impl!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_shrinks_toward_zero() {
+        assert_eq!(10u32.shrink(), vec![0, 5, 9]);
+        assert_eq!(1u32.shrink(), vec![0]);
+        assert!(0u32.shrink().is_empty());
+    }
+
+    #[test]
+    fn signed_shrinks_through_sign_flip() {
+        let c = (-6i32).shrink();
+        assert!(c.contains(&0) && c.contains(&6) && c.contains(&-3) && c.contains(&-5));
+        assert!(0i32.shrink().is_empty());
+        assert_eq!(i8::MIN.shrink(), vec![0, i8::MIN / 2, i8::MIN + 1]);
+    }
+
+    #[test]
+    fn vec_shrinks_structure_before_elements() {
+        let v = vec![3u8, 4];
+        let c = v.shrink();
+        assert_eq!(c[0], Vec::<u8>::new());
+        assert!(c.contains(&vec![4]));
+        assert!(c.contains(&vec![3]));
+        assert!(c.contains(&vec![0, 4]));
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let c = (2u8, true).shrink();
+        assert!(c.contains(&(0, true)));
+        assert!(c.contains(&(2, false)));
+    }
+
+    #[test]
+    fn string_shrinks_to_substrings() {
+        let c = "ab".to_string().shrink();
+        assert!(c.contains(&String::new()));
+        assert!(c.contains(&"a".to_string()));
+        assert!(c.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn float_shrinks_are_finite_and_simpler() {
+        let c = (-2.5f64).shrink();
+        assert!(c.contains(&0.0) && c.contains(&2.5));
+        assert!(0.0f64.shrink().is_empty());
+        assert!(f64::NAN.shrink().is_empty());
+    }
+
+    #[test]
+    fn every_candidate_is_strictly_simpler_for_ints() {
+        // Termination guard for the greedy descent.
+        for v in [u64::MAX, 1000, 17, 2, 1] {
+            for c in v.shrink() {
+                assert!(c < v, "{c} not simpler than {v}");
+            }
+        }
+        for v in [i64::MIN, -17, -1, 1, 42] {
+            for c in v.shrink() {
+                assert!(
+                    c.unsigned_abs() < v.unsigned_abs()
+                        || (c.unsigned_abs() == v.unsigned_abs() && c > v),
+                    "{c} not simpler than {v}"
+                );
+            }
+        }
+    }
+}

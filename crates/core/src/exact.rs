@@ -207,8 +207,8 @@ pub fn exact_placement(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cca_rand::rngs::StdRng;
+    use cca_rand::{Rng, SeedableRng};
 
     #[test]
     fn trivial_instances() {

@@ -60,6 +60,7 @@
 
 pub mod audit;
 pub mod cluster;
+pub mod error;
 pub mod exact;
 pub mod figure4;
 pub mod fractional;
@@ -91,6 +92,7 @@ pub use relax::{
 };
 pub use repair::{repair_capacity, RepairOutcome};
 pub use resources::{Resource, ResourceError};
+pub use error::{CcaError, PlaceError};
 pub use rounding::{round_best_of, round_once, RoundingOutcome};
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
-pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlaceError, PlacementReport, Strategy};
+pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

@@ -412,8 +412,18 @@ fn solve_by_cutting_planes(
     // Seed cuts from an integral placement: σ_k = +1 on i's node, −1 on
     // j's node (exactly the tight pattern at that placement).
     if let Some(p) = seed {
-        assert_eq!(p.num_objects(), t, "seed placement has wrong object count");
-        assert_eq!(p.num_nodes(), n, "seed placement has wrong node count");
+        if p.num_objects() != t {
+            return Err(LpError::InvalidModel(format!(
+                "seed placement has wrong object count: expected {t}, got {}",
+                p.num_objects()
+            )));
+        }
+        if p.num_nodes() != n {
+            return Err(LpError::InvalidModel(format!(
+                "seed placement has wrong node count: expected {n}, got {}",
+                p.num_nodes()
+            )));
+        }
         for (e, pair) in problem.pairs().iter().enumerate() {
             let (ka, kb) = (p.node_of(pair.a), p.node_of(pair.b));
             if ka != kb {
@@ -563,8 +573,8 @@ mod tests {
     use super::*;
     use crate::figure4::Figure4Lp;
     use crate::problem::{CcaProblem, ObjectId};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cca_rand::rngs::StdRng;
+    use cca_rand::{Rng, SeedableRng};
 
     fn cp() -> RelaxOptions {
         RelaxOptions {

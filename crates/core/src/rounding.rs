@@ -14,10 +14,11 @@
 //! All four are re-verified statistically in this module's tests and the
 //! crate's property tests.
 
+use crate::error::CcaError;
 use crate::fractional::FractionalPlacement;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
-use rand::Rng;
+use cca_rand::Rng;
 
 /// Safety cap on rounding steps; with valid stochastic rows the loop
 /// terminates long before this (each step places an object with probability
@@ -26,17 +27,19 @@ const MAX_STEPS_PER_OBJECT: usize = 100_000;
 
 /// Performs one run of Algorithm 2.1 on `fractional`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `fractional` is not (approximately) row-stochastic — call
-/// [`FractionalPlacement::normalise`] first — or if the step cap is
-/// exhausted (indicating invalid input despite the check).
-#[must_use]
-pub fn round_once<R: Rng + ?Sized>(fractional: &FractionalPlacement, rng: &mut R) -> Placement {
-    assert!(
-        fractional.is_stochastic(1e-6),
-        "fractional placement must be row-stochastic; call normalise() first"
-    );
+/// [`CcaError::NotStochastic`] if `fractional` is not (approximately)
+/// row-stochastic — call [`FractionalPlacement::normalise`] first — and
+/// [`CcaError::RoundingDiverged`] if the step cap is exhausted (indicating
+/// invalid input despite the check).
+pub fn round_once<R: Rng + ?Sized>(
+    fractional: &FractionalPlacement,
+    rng: &mut R,
+) -> Result<Placement, CcaError> {
+    if !fractional.is_stochastic(1e-6) {
+        return Err(CcaError::NotStochastic);
+    }
     let t = fractional.num_objects();
     let n = fractional.num_nodes();
     let mut assignment = vec![u32::MAX; t];
@@ -44,7 +47,9 @@ pub fn round_once<R: Rng + ?Sized>(fractional: &FractionalPlacement, rng: &mut R
     let mut steps = 0usize;
     let max_steps = MAX_STEPS_PER_OBJECT.saturating_mul(t.max(1));
     while !unplaced.is_empty() {
-        assert!(steps < max_steps, "rounding failed to converge");
+        if steps >= max_steps {
+            return Err(CcaError::RoundingDiverged { steps });
+        }
         steps += 1;
         let k = rng.random_range(0..n);
         let r: f64 = rng.random();
@@ -57,7 +62,7 @@ pub fn round_once<R: Rng + ?Sized>(fractional: &FractionalPlacement, rng: &mut R
             }
         });
     }
-    Placement::new(assignment, n)
+    Ok(Placement::new(assignment, n))
 }
 
 /// Outcome of [`round_best_of`].
@@ -81,27 +86,38 @@ pub struct RoundingOutcome {
 /// strict) are preferred over violating ones; among equals, lower
 /// communication cost wins.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `repetitions == 0` or the placement/problem dimensions
-/// disagree.
-#[must_use]
+/// [`CcaError::NoRepetitions`] if `repetitions == 0`,
+/// [`CcaError::DimensionMismatch`] if the placement/problem dimensions
+/// disagree, plus anything [`round_once`] reports.
 pub fn round_best_of<R: Rng + ?Sized>(
     fractional: &FractionalPlacement,
     problem: &CcaProblem,
     repetitions: usize,
     capacity_slack: f64,
     rng: &mut R,
-) -> RoundingOutcome {
-    assert!(repetitions > 0, "need at least one repetition");
-    assert_eq!(
-        fractional.num_objects(),
-        problem.num_objects(),
-        "fractional placement and problem disagree on object count"
-    );
+) -> Result<RoundingOutcome, CcaError> {
+    if repetitions == 0 {
+        return Err(CcaError::NoRepetitions);
+    }
+    if fractional.num_objects() != problem.num_objects() {
+        return Err(CcaError::DimensionMismatch {
+            what: "object count",
+            expected: problem.num_objects(),
+            actual: fractional.num_objects(),
+        });
+    }
+    if fractional.num_nodes() != problem.num_nodes() {
+        return Err(CcaError::DimensionMismatch {
+            what: "node count",
+            expected: problem.num_nodes(),
+            actual: fractional.num_nodes(),
+        });
+    }
     let mut best: Option<(bool, f64, Placement)> = None;
     for _ in 0..repetitions {
-        let p = round_once(fractional, rng);
+        let p = round_once(fractional, rng)?;
         let cost = p.communication_cost(problem);
         let feasible = p.within_all_capacities(problem, capacity_slack);
         let better = match &best {
@@ -113,20 +129,20 @@ pub fn round_best_of<R: Rng + ?Sized>(
         }
     }
     let (within_capacity, cost, placement) = best.expect("repetitions > 0");
-    RoundingOutcome {
+    Ok(RoundingOutcome {
         placement,
         cost,
         within_capacity,
         repetitions,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::problem::{CcaProblem, ObjectId};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn frac(x: Vec<f64>, t: usize, n: usize) -> FractionalPlacement {
         FractionalPlacement::new(x, t, n)
@@ -137,7 +153,7 @@ mod tests {
         let f = FractionalPlacement::from_integral(&[1, 0, 2], 3);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10 {
-            let p = round_once(&f, &mut rng);
+            let p = round_once(&f, &mut rng).unwrap();
             assert_eq!(p.as_slice(), &[1, 0, 2]);
         }
     }
@@ -150,7 +166,7 @@ mod tests {
         let trials = 20_000;
         let mut count = [[0usize; 2]; 2];
         for _ in 0..trials {
-            let p = round_once(&f, &mut rng);
+            let p = round_once(&f, &mut rng).unwrap();
             count[0][p.node_of(ObjectId(0))] += 1;
             count[1][p.node_of(ObjectId(1))] += 1;
         }
@@ -176,7 +192,7 @@ mod tests {
         let same = frac(vec![0.5, 0.5, 0.5, 0.5], 2, 2);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..2000 {
-            let p = round_once(&same, &mut rng);
+            let p = round_once(&same, &mut rng).unwrap();
             assert_eq!(
                 p.node_of(ObjectId(0)),
                 p.node_of(ObjectId(1)),
@@ -190,7 +206,7 @@ mod tests {
         let trials = 20_000;
         let mut split = 0;
         for _ in 0..trials {
-            let p = round_once(&f, &mut rng);
+            let p = round_once(&f, &mut rng).unwrap();
             if p.node_of(ObjectId(0)) != p.node_of(ObjectId(1)) {
                 split += 1;
             }
@@ -214,7 +230,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 30_000;
         let total: f64 = (0..trials)
-            .map(|_| round_once(&f, &mut rng).communication_cost(&p))
+            .map(|_| round_once(&f, &mut rng).unwrap().communication_cost(&p))
             .sum();
         let emp = total / trials as f64;
         // Lemma 2 gives <= z per pair; for two-node problems the bound is
@@ -240,7 +256,7 @@ mod tests {
         let trials = 20_000;
         let mut sums = [0.0f64; 2];
         for _ in 0..trials {
-            let pl = round_once(&f, &mut rng);
+            let pl = round_once(&f, &mut rng).unwrap();
             let loads = pl.loads(&p);
             sums[0] += loads[0] as f64;
             sums[1] += loads[1] as f64;
@@ -262,7 +278,7 @@ mod tests {
         let f = frac(vec![0.5, 0.5, 0.5, 0.5], 2, 2);
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..200 {
-            let p = round_once(&f, &mut rng);
+            let p = round_once(&f, &mut rng).unwrap();
             assert_eq!(p.node_of(ObjectId(0)), p.node_of(ObjectId(1)));
         }
     }
@@ -280,7 +296,7 @@ mod tests {
         // cost 0.
         let f = frac(vec![0.9, 0.1, 0.1, 0.9], 2, 2);
         let mut rng = StdRng::seed_from_u64(6);
-        let out = round_best_of(&f, &p, 64, 1.0, &mut rng);
+        let out = round_best_of(&f, &p, 64, 1.0, &mut rng).unwrap();
         // Split probability is z = 0.8 per draw, so 64 tries find one.
         assert!(out.within_capacity);
         assert!((out.cost - 5.0).abs() < 1e-12);
@@ -288,21 +304,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "row-stochastic")]
     fn non_stochastic_input_is_rejected() {
         let f = frac(vec![0.9, 0.9, 0.1, 0.1], 2, 2);
         let mut rng = StdRng::seed_from_u64(7);
-        let _ = round_once(&f, &mut rng);
+        assert_eq!(round_once(&f, &mut rng), Err(CcaError::NotStochastic));
     }
 
     #[test]
-    #[should_panic(expected = "at least one repetition")]
-    fn zero_repetitions_panics() {
+    fn zero_repetitions_is_an_error() {
         let mut b = CcaProblem::builder();
         b.add_object("a", 1);
         let p = b.uniform_capacities(1, 1).build().unwrap();
         let f = frac(vec![1.0], 1, 1);
         let mut rng = StdRng::seed_from_u64(8);
-        let _ = round_best_of(&f, &p, 0, 1.0, &mut rng);
+        assert!(matches!(
+            round_best_of(&f, &p, 0, 1.0, &mut rng),
+            Err(CcaError::NoRepetitions)
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        b.add_object("b", 1);
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        // One object where the problem has two.
+        let f = frac(vec![0.5, 0.5], 1, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            round_best_of(&f, &p, 4, 1.0, &mut rng),
+            Err(CcaError::DimensionMismatch {
+                what: "object count",
+                expected: 2,
+                actual: 1,
+            })
+        ));
     }
 }

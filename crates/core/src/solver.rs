@@ -1,5 +1,6 @@
 //! High-level placement API tying the strategies together.
 
+use crate::error::PlaceError;
 use crate::greedy::greedy_placement;
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
@@ -7,9 +8,8 @@ use crate::random::random_hash_placement;
 use crate::relax::{solve_relaxation, RelaxOptions};
 use crate::rounding::round_best_of;
 use crate::scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::fmt;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 /// Options for the LPRR (linear programming with randomized rounding)
 /// strategy.
@@ -79,36 +79,6 @@ impl Strategy {
     }
 }
 
-/// Error from [`place`] / [`place_partial`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum PlaceError {
-    /// The LP relaxation failed (infeasible capacities, iteration limit,
-    /// numerical trouble).
-    Lp(cca_lp::LpError),
-}
-
-impl fmt::Display for PlaceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PlaceError::Lp(e) => write!(f, "LP relaxation failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PlaceError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            PlaceError::Lp(e) => Some(e),
-        }
-    }
-}
-
-impl From<cca_lp::LpError> for PlaceError {
-    fn from(e: cca_lp::LpError) -> Self {
-        PlaceError::Lp(e)
-    }
-}
-
 /// A placement together with its quality metrics.
 #[derive(Debug, Clone)]
 pub struct PlacementReport {
@@ -153,7 +123,7 @@ pub fn place(problem: &CcaProblem, strategy: &Strategy) -> Result<PlacementRepor
                 opts.repetitions,
                 opts.capacity_slack,
                 &mut rng,
-            );
+            )?;
             let mut placement = rounded.placement;
             if opts.repair && !rounded.within_capacity {
                 let _ = crate::repair::repair_capacity(problem, &mut placement, opts.capacity_slack);

@@ -1,15 +1,16 @@
 //! Property-based tests of the CCA core: problem/placement invariants,
 //! clustering, rounding guarantees, repair, and the exact-oracle sandwich.
 
+use cca_check::{gen, prop_assert, prop_assert_eq, prop_assert_ne, Checker, Rng, Shrink, StdRng};
+use cca_core::Strategy as PlacementStrategy;
 use cca_core::{
     capacity_bounded_clusters, construct_clustered_vertex, construct_optimal_vertex,
-    exact_placement, greedy_placement, place, random_hash_placement, repair_capacity,
-    round_once, CcaProblem, ExactOptions, ObjectId, Placement,
+    exact_placement, greedy_placement, place, random_hash_placement, repair_capacity, round_once,
+    CcaProblem, ExactOptions, ObjectId, Placement,
 };
-use cca_core::Strategy as PlacementStrategy;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::SeedableRng;
+
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/property.regressions");
 
 /// Shrinkable description of a random CCA instance.
 #[derive(Debug, Clone)]
@@ -20,26 +21,52 @@ struct RandomCca {
     pairs: Vec<(usize, usize, u8, u8)>, // (a, b, correlation%, cost)
 }
 
-fn random_cca() -> impl Strategy<Value = RandomCca> {
-    (2usize..9, 1usize..4, 0u8..30).prop_flat_map(|(t, nodes, headroom)| {
-        let sizes = proptest::collection::vec(1u8..12, t);
-        let pairs = proptest::collection::vec(
-            (0..t, 0..t, 1u8..=100, 1u8..20),
-            0..(t * 2),
-        );
-        (
-            sizes,
-            Just(nodes),
-            Just(headroom),
-            pairs,
-        )
-            .prop_map(|(sizes, nodes, capacity_headroom, pairs)| RandomCca {
-                sizes,
-                nodes,
+impl Shrink for RandomCca {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Pairs shrink freely: `build` indexes objects modulo the count and
+        // clamps correlation/cost back into the generator's domain.
+        for pairs in self.pairs.shrink() {
+            out.push(RandomCca { pairs, ..self.clone() });
+        }
+        // At least one object must survive so modulo indexing stays total.
+        for sizes in self.sizes.shrink() {
+            if !sizes.is_empty() {
+                out.push(RandomCca { sizes, ..self.clone() });
+            }
+        }
+        for nodes in self.nodes.shrink() {
+            if nodes >= 1 {
+                out.push(RandomCca { nodes, ..self.clone() });
+            }
+        }
+        for capacity_headroom in self.capacity_headroom.shrink() {
+            out.push(RandomCca {
                 capacity_headroom,
-                pairs,
-            })
-    })
+                ..self.clone()
+            });
+        }
+        out
+    }
+}
+
+fn random_cca(rng: &mut StdRng) -> RandomCca {
+    let t = rng.random_range(2usize..9);
+    let sizes = (0..t).map(|_| rng.random_range(1u8..12)).collect();
+    let pairs = gen::vec(rng, 0..t * 2, |r| {
+        (
+            r.random_range(0..t),
+            r.random_range(0..t),
+            r.random_range(1u8..=100),
+            r.random_range(1u8..20),
+        )
+    });
+    RandomCca {
+        sizes,
+        nodes: rng.random_range(1usize..4),
+        capacity_headroom: rng.random_range(0u8..30),
+        pairs,
+    }
 }
 
 fn build(r: &RandomCca) -> CcaProblem {
@@ -48,219 +75,296 @@ fn build(r: &RandomCca) -> CcaProblem {
         .sizes
         .iter()
         .enumerate()
-        .map(|(i, &s)| b.add_object(format!("o{i}"), u64::from(s)))
+        // Clamps keep shrunk cases inside the generator's domain
+        // (sizes >= 1, correlation in (0, 1], cost >= 1, nodes >= 1).
+        .map(|(i, &s)| b.add_object(format!("o{i}"), u64::from(s.max(1))))
         .collect();
     for &(a, c, corr, cost) in &r.pairs {
+        let (a, c) = (a % objs.len(), c % objs.len());
         if a != c {
             b.add_pair(
                 objs[a],
                 objs[c],
-                f64::from(corr) / 100.0,
-                f64::from(cost),
+                f64::from(corr.max(1)) / 100.0,
+                f64::from(cost.max(1)),
             )
             .expect("valid pair");
         }
     }
-    let total: u64 = r.sizes.iter().map(|&s| u64::from(s)).sum();
+    let nodes = r.nodes.max(1);
+    let total: u64 = r.sizes.iter().map(|&s| u64::from(s.max(1))).sum();
     // Capacity: enough in aggregate, plus some headroom.
-    let cap = (total / r.nodes as u64 + 1) + u64::from(r.capacity_headroom);
-    b.uniform_capacities(r.nodes, cap).build().expect("valid problem")
+    let cap = (total / nodes as u64 + 1) + u64::from(r.capacity_headroom);
+    b.uniform_capacities(nodes, cap).build().expect("valid problem")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
-
-    /// Costs are within [0, total weight]; co-locating everything on one
-    /// node (capacity aside) always yields zero cost.
-    #[test]
-    fn cost_bounds(r in random_cca()) {
-        let p = build(&r);
-        let all_zero = Placement::new(vec![0; p.num_objects()], p.num_nodes());
-        prop_assert_eq!(all_zero.communication_cost(&p), 0.0);
-        let hash = random_hash_placement(&p);
-        let cost = hash.communication_cost(&p);
-        prop_assert!(cost >= 0.0);
-        prop_assert!(cost <= p.total_pair_weight() + 1e-9);
-    }
-
-    /// The baselines and LPRR always produce complete placements, and any
-    /// cost they report matches an independent recomputation.
-    #[test]
-    fn strategies_produce_consistent_reports(r in random_cca()) {
-        let p = build(&r);
-        for strategy in [PlacementStrategy::RandomHash, PlacementStrategy::Greedy, PlacementStrategy::lprr()] {
-            if let Ok(report) = place(&p, &strategy) {
-                prop_assert_eq!(report.placement.num_objects(), p.num_objects());
-                let recomputed = report.placement.communication_cost(&p);
-                prop_assert!((report.cost - recomputed).abs() < 1e-9);
-            }
-        }
-    }
-
-    /// Clusters partition the objects and respect the size budget (unless
-    /// a single object already exceeds it).
-    #[test]
-    fn clusters_partition_and_fit(r in random_cca(), budget in 1u64..60) {
-        let p = build(&r);
-        let clusters = capacity_bounded_clusters(&p, budget);
-        let mut seen = vec![false; p.num_objects()];
-        for cluster in &clusters {
-            let size: u64 = cluster.iter().map(|&o| p.size(o)).sum();
-            prop_assert!(
-                size <= budget || cluster.len() == 1,
-                "oversized multi-object cluster: {cluster:?} ({size} > {budget})"
-            );
-            for &o in cluster {
-                prop_assert!(!seen[o.index()], "object {o} in two clusters");
-                seen[o.index()] = true;
-            }
-        }
-        prop_assert!(seen.iter().all(|&s| s), "some object missing from clusters");
-    }
-
-    /// Both vertex constructions yield stochastic fractional placements
-    /// whose expected loads respect the capacities, and the degenerate one
-    /// attains objective 0.
-    #[test]
-    fn vertex_constructions_are_feasible(r in random_cca()) {
-        let p = build(&r);
-        let optimal = construct_optimal_vertex(&p).expect("aggregate capacity suffices");
-        prop_assert!(optimal.objective.abs() < 1e-9);
-        let clustered = construct_clustered_vertex(&p).expect("aggregate capacity suffices");
-        for out in [&optimal, &clustered] {
-            prop_assert!(out.fractional.is_stochastic(1e-6));
-            for (k, load) in out.fractional.expected_loads(&p).iter().enumerate() {
-                prop_assert!(
-                    *load <= p.capacity(k) as f64 + 1e-6,
-                    "node {k}: expected load {load} > capacity {}",
-                    p.capacity(k)
-                );
-            }
-        }
-        prop_assert!(clustered.objective >= -1e-9);
-        prop_assert!(clustered.objective <= p.total_pair_weight() + 1e-9);
-    }
-
-    /// Rounding an integral fractional placement reproduces it exactly.
-    #[test]
-    fn rounding_is_identity_on_integral(r in random_cca(), seed in any::<u64>()) {
-        let p = build(&r);
-        let hash = random_hash_placement(&p);
-        let frac = cca_core::FractionalPlacement::from_integral(hash.as_slice(), p.num_nodes());
-        let mut rng = StdRng::seed_from_u64(seed);
-        prop_assert_eq!(round_once(&frac, &mut rng), hash);
-    }
-
-    /// Repair never breaks completeness and reaches feasibility whenever
-    /// feasibility is achievable by it (generous aggregate headroom).
-    #[test]
-    fn repair_terminates_and_reports(r in random_cca()) {
-        let p = build(&r);
-        let mut placement = Placement::new(vec![0; p.num_objects()], p.num_nodes());
-        let outcome = repair_capacity(&p, &mut placement, 1.0);
-        prop_assert_eq!(placement.num_objects(), p.num_objects());
-        if outcome.feasible {
-            prop_assert!(placement.within_capacity(&p, 1.0 + 1e-9));
-        }
-    }
+/// Costs are within [0, total weight]; co-locating everything on one
+/// node (capacity aside) always yields zero cost.
+#[test]
+fn cost_bounds() {
+    Checker::new("cost_bounds")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            let all_zero = Placement::new(vec![0; p.num_objects()], p.num_nodes());
+            prop_assert_eq!(all_zero.communication_cost(&p), 0.0);
+            let hash = random_hash_placement(&p);
+            let cost = hash.communication_cost(&p);
+            prop_assert!(cost >= 0.0);
+            prop_assert!(cost <= p.total_pair_weight() + 1e-9);
+            Ok(())
+        });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
-
-    /// Reconcile never exceeds its migration budget and never worsens the
-    /// model cost under default options.
-    #[test]
-    fn reconcile_respects_budget(r in random_cca(), budget in 0u64..60) {
-        let p = build(&r);
-        let current = random_hash_placement(&p);
-        let desired = greedy_placement(&p);
-        let out = cca_core::reconcile(
-            &p, &current, &desired, budget, &cca_core::MigrateOptions::default(),
-        );
-        prop_assert!(out.migrated_bytes <= budget);
-        prop_assert!(out.comm_cost <= current.communication_cost(&p) + 1e-9);
-        // migrated bytes equal the size of actually-moved objects.
-        let moved: u64 = p
-            .objects()
-            .filter(|&o| out.placement.node_of(o) != current.node_of(o))
-            .map(|o| p.size(o))
-            .sum();
-        prop_assert_eq!(moved, out.migrated_bytes);
-    }
-
-    /// Draining empties the node or reports None; on success every other
-    /// node stays within the slackened capacity.
-    #[test]
-    fn drain_empties_node_or_fails(r in random_cca()) {
-        let p = build(&r);
-        if p.num_nodes() < 2 {
-            return Ok(());
-        }
-        let start = greedy_placement(&p);
-        if !start.within_all_capacities(&p, 1.0) {
-            return Ok(());
-        }
-        let node = 0usize;
-        // `None` means legitimately undrainable.
-        if let Some(out) = cca_core::drain_node(&p, &start, node, &cca_core::MigrateOptions {
-            capacity_slack: 2.0,
-            ..cca_core::MigrateOptions::default()
-        }) {
-            for o in p.objects() {
-                prop_assert_ne!(out.placement.node_of(o), node);
+/// The baselines and LPRR always produce complete placements, and any
+/// cost they report matches an independent recomputation.
+#[test]
+fn strategies_produce_consistent_reports() {
+    Checker::new("strategies_produce_consistent_reports")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            for strategy in [
+                PlacementStrategy::RandomHash,
+                PlacementStrategy::Greedy,
+                PlacementStrategy::lprr(),
+            ] {
+                if let Ok(report) = place(&p, &strategy) {
+                    prop_assert_eq!(report.placement.num_objects(), p.num_objects());
+                    let recomputed = report.placement.communication_cost(&p);
+                    prop_assert!((report.cost - recomputed).abs() < 1e-9);
+                }
             }
-            prop_assert!(out.placement.within_all_capacities(&p, 2.0 + 1e-9));
-        }
-    }
-
-    /// Placement persistence round-trips on random problems.
-    #[test]
-    fn persistence_round_trips(r in random_cca()) {
-        let p = build(&r);
-        let placement = random_hash_placement(&p);
-        let text = cca_core::format_placement(&p, &placement);
-        let parsed = cca_core::read_placement(text.as_bytes(), &p);
-        prop_assert!(parsed.is_ok(), "{:?}", parsed.err().map(|e| e.to_string()));
-        prop_assert_eq!(parsed.unwrap(), placement);
-    }
+            Ok(())
+        });
 }
 
-proptest! {
-    // The exact oracle is exponential; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Sandwich: LP optimum (0) <= exact optimum <= every heuristic's cost,
-    /// on instances small enough for branch and bound.
-    #[test]
-    fn exact_oracle_sandwich(r in random_cca()) {
-        let p = build(&r);
-        if p.num_objects() <= 7 && p.num_nodes() <= 3 {
-            if let Some((exact, exact_cost)) = exact_placement(&p, &ExactOptions::default()) {
-                prop_assert!(exact.within_capacity(&p, 1.0));
-                prop_assert!(exact_cost >= -1e-12);
-                // Exact is a lower bound for every capacity-feasible
-                // placement the heuristics produce.
-                let greedy = greedy_placement(&p);
-                if greedy.within_capacity(&p, 1.0) {
+/// Clusters partition the objects and respect the size budget (unless
+/// a single object already exceeds it).
+#[test]
+fn clusters_partition_and_fit() {
+    Checker::new("clusters_partition_and_fit")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (random_cca(rng), rng.random_range(1u64..60)),
+            |(r, budget)| {
+                let budget = (*budget).max(1); // shrinking may drive it to 0
+                let p = build(r);
+                let clusters = capacity_bounded_clusters(&p, budget);
+                let mut seen = vec![false; p.num_objects()];
+                for cluster in &clusters {
+                    let size: u64 = cluster.iter().map(|&o| p.size(o)).sum();
                     prop_assert!(
-                        greedy.communication_cost(&p) >= exact_cost - 1e-9,
-                        "greedy {} below exact {exact_cost}",
-                        greedy.communication_cost(&p)
+                        size <= budget || cluster.len() == 1,
+                        "oversized multi-object cluster: {cluster:?} ({size} > {budget})"
+                    );
+                    for &o in cluster {
+                        prop_assert!(!seen[o.index()], "object {o} in two clusters");
+                        seen[o.index()] = true;
+                    }
+                }
+                prop_assert!(seen.iter().all(|&s| s), "some object missing from clusters");
+                Ok(())
+            },
+        );
+}
+
+/// Both vertex constructions yield stochastic fractional placements
+/// whose expected loads respect the capacities, and the degenerate one
+/// attains objective 0.
+#[test]
+fn vertex_constructions_are_feasible() {
+    Checker::new("vertex_constructions_are_feasible")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            let optimal = construct_optimal_vertex(&p).expect("aggregate capacity suffices");
+            prop_assert!(optimal.objective.abs() < 1e-9);
+            let clustered = construct_clustered_vertex(&p).expect("aggregate capacity suffices");
+            for out in [&optimal, &clustered] {
+                prop_assert!(out.fractional.is_stochastic(1e-6));
+                for (k, load) in out.fractional.expected_loads(&p).iter().enumerate() {
+                    prop_assert!(
+                        *load <= p.capacity(k) as f64 + 1e-6,
+                        "node {k}: expected load {load} > capacity {}",
+                        p.capacity(k)
                     );
                 }
-                if let Ok(lprr) = place(&p, &PlacementStrategy::lprr()) {
-                    if lprr.placement.within_capacity(&p, 1.0) {
+            }
+            prop_assert!(clustered.objective >= -1e-9);
+            prop_assert!(clustered.objective <= p.total_pair_weight() + 1e-9);
+            Ok(())
+        });
+}
+
+/// Rounding an integral fractional placement reproduces it exactly.
+#[test]
+fn rounding_is_identity_on_integral() {
+    Checker::new("rounding_is_identity_on_integral")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (random_cca(rng), rng.random::<u64>()),
+            |(r, seed)| {
+                let p = build(r);
+                let hash = random_hash_placement(&p);
+                let frac =
+                    cca_core::FractionalPlacement::from_integral(hash.as_slice(), p.num_nodes());
+                let mut rng = StdRng::seed_from_u64(*seed);
+                prop_assert_eq!(round_once(&frac, &mut rng), Ok(hash));
+                Ok(())
+            },
+        );
+}
+
+/// Repair never breaks completeness and reaches feasibility whenever
+/// feasibility is achievable by it (generous aggregate headroom).
+#[test]
+fn repair_terminates_and_reports() {
+    Checker::new("repair_terminates_and_reports")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            let mut placement = Placement::new(vec![0; p.num_objects()], p.num_nodes());
+            let outcome = repair_capacity(&p, &mut placement, 1.0);
+            prop_assert_eq!(placement.num_objects(), p.num_objects());
+            if outcome.feasible {
+                prop_assert!(placement.within_capacity(&p, 1.0 + 1e-9));
+            }
+            Ok(())
+        });
+}
+
+/// Reconcile never exceeds its migration budget and never worsens the
+/// model cost under default options.
+#[test]
+fn reconcile_respects_budget() {
+    Checker::new("reconcile_respects_budget")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (random_cca(rng), rng.random_range(0u64..60)),
+            |(r, budget)| {
+                let budget = *budget;
+                let p = build(r);
+                let current = random_hash_placement(&p);
+                let desired = greedy_placement(&p);
+                let out = cca_core::reconcile(
+                    &p,
+                    &current,
+                    &desired,
+                    budget,
+                    &cca_core::MigrateOptions::default(),
+                );
+                prop_assert!(out.migrated_bytes <= budget);
+                prop_assert!(out.comm_cost <= current.communication_cost(&p) + 1e-9);
+                // migrated bytes equal the size of actually-moved objects.
+                let moved: u64 = p
+                    .objects()
+                    .filter(|&o| out.placement.node_of(o) != current.node_of(o))
+                    .map(|o| p.size(o))
+                    .sum();
+                prop_assert_eq!(moved, out.migrated_bytes);
+                Ok(())
+            },
+        );
+}
+
+/// Draining empties the node or reports None; on success every other
+/// node stays within the slackened capacity.
+#[test]
+fn drain_empties_node_or_fails() {
+    Checker::new("drain_empties_node_or_fails")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            if p.num_nodes() < 2 {
+                return Ok(());
+            }
+            let start = greedy_placement(&p);
+            if !start.within_all_capacities(&p, 1.0) {
+                return Ok(());
+            }
+            let node = 0usize;
+            // `None` means legitimately undrainable.
+            if let Some(out) = cca_core::drain_node(
+                &p,
+                &start,
+                node,
+                &cca_core::MigrateOptions {
+                    capacity_slack: 2.0,
+                    ..cca_core::MigrateOptions::default()
+                },
+            ) {
+                for o in p.objects() {
+                    prop_assert_ne!(out.placement.node_of(o), node);
+                }
+                prop_assert!(out.placement.within_all_capacities(&p, 2.0 + 1e-9));
+            }
+            Ok(())
+        });
+}
+
+/// Placement persistence round-trips on random problems.
+#[test]
+fn persistence_round_trips() {
+    Checker::new("persistence_round_trips")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            let placement = random_hash_placement(&p);
+            let text = cca_core::format_placement(&p, &placement);
+            let parsed = cca_core::read_placement(text.as_bytes(), &p);
+            prop_assert!(parsed.is_ok(), "{:?}", parsed.err().map(|e| e.to_string()));
+            prop_assert_eq!(parsed.unwrap(), placement);
+            Ok(())
+        });
+}
+
+/// Sandwich: LP optimum (0) <= exact optimum <= every heuristic's cost,
+/// on instances small enough for branch and bound.
+#[test]
+fn exact_oracle_sandwich() {
+    // The exact oracle is exponential; keep the case count low.
+    Checker::new("exact_oracle_sandwich")
+        .cases(40)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            if p.num_objects() <= 7 && p.num_nodes() <= 3 {
+                if let Some((exact, exact_cost)) = exact_placement(&p, &ExactOptions::default()) {
+                    prop_assert!(exact.within_capacity(&p, 1.0));
+                    prop_assert!(exact_cost >= -1e-12);
+                    // Exact is a lower bound for every capacity-feasible
+                    // placement the heuristics produce.
+                    let greedy = greedy_placement(&p);
+                    if greedy.within_capacity(&p, 1.0) {
                         prop_assert!(
-                            lprr.cost >= exact_cost - 1e-9,
-                            "lprr {} below exact {exact_cost}",
-                            lprr.cost
+                            greedy.communication_cost(&p) >= exact_cost - 1e-9,
+                            "greedy {} below exact {exact_cost}",
+                            greedy.communication_cost(&p)
                         );
+                    }
+                    if let Ok(lprr) = place(&p, &PlacementStrategy::lprr()) {
+                        if lprr.placement.within_capacity(&p, 1.0) {
+                            prop_assert!(
+                                lprr.cost >= exact_cost - 1e-9,
+                                "lprr {} below exact {exact_cost}",
+                                lprr.cost
+                            );
+                        }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        });
 }
 
 /// Lemma 1 at the integration level: rounding the degenerate vertex places
@@ -276,7 +380,7 @@ fn degenerate_vertex_rounds_components_together() {
     let out = construct_optimal_vertex(&p).unwrap();
     let mut rng = StdRng::seed_from_u64(33);
     for _ in 0..200 {
-        let placement = round_once(&out.fractional, &mut rng);
+        let placement = round_once(&out.fractional, &mut rng).expect("stochastic vertex");
         assert_eq!(placement.node_of(o[0]), placement.node_of(o[1]));
         assert_eq!(placement.node_of(o[2]), placement.node_of(o[3]));
     }

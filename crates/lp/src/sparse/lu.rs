@@ -279,8 +279,8 @@ impl LuFactors {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cca_rand::rngs::StdRng;
+    use cca_rand::{Rng, SeedableRng};
 
     fn dense_to_csc(d: &[Vec<f64>]) -> CscMatrix {
         let rows = d.len();

@@ -360,8 +360,8 @@ pub(crate) fn solve(model: &Model, opts: &SolverOptions) -> Result<Solution, LpE
 mod tests {
     use crate::model::{Model, Relation, SolverOptions};
     use crate::tol::approx_eq;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use cca_rand::rngs::StdRng;
+    use cca_rand::{Rng, SeedableRng};
 
     fn opts() -> SolverOptions {
         SolverOptions::default()

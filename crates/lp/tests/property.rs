@@ -2,13 +2,15 @@
 //! the sparse revised simplex must agree on randomly generated models, and
 //! every reported optimum must validate from first principles.
 
+use cca_check::{gen, prop_assert, prop_assert_eq, Checker, Rng, Shrink, StdRng};
 use cca_lp::{presolve, validate_solution, LpError, Model, Relation, SolverOptions};
-use proptest::prelude::*;
+
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/property.regressions");
 
 /// A random constraint row: `(relation code, rhs, coefficients)`.
 type RandomRow = (u8, i8, Vec<(usize, i8)>);
 
-/// A randomly generated model description that proptest can shrink.
+/// A randomly generated model description the harness can shrink.
 #[derive(Debug, Clone)]
 struct RandomLp {
     objective: Vec<i8>,
@@ -16,23 +18,45 @@ struct RandomLp {
     maximize: bool,
 }
 
-fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
-    (1usize..7, any::<bool>())
-        .prop_flat_map(|(num_vars, maximize)| {
-            let objective = proptest::collection::vec(-4i8..=6, num_vars);
-            let row = (
-                0u8..3,
-                -4i8..=8,
-                proptest::collection::vec((0..num_vars, -3i8..=4), 1..=num_vars),
-            );
-            let rows = proptest::collection::vec(row, 1..6);
-            (Just(num_vars), objective, rows, Just(maximize))
-        })
-        .prop_map(|(_, objective, rows, maximize)| RandomLp {
-            objective,
-            rows,
-            maximize,
-        })
+impl Shrink for RandomLp {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Rows shrink freely (structurally and element-wise): `build` is
+        // total for any row content.
+        for rows in self.rows.shrink() {
+            out.push(RandomLp { rows, ..self.clone() });
+        }
+        // The objective length fixes the variable count, so only same-length
+        // (element-wise) candidates are valid.
+        for objective in self.objective.shrink() {
+            if objective.len() == self.objective.len() {
+                out.push(RandomLp { objective, ..self.clone() });
+            }
+        }
+        if self.maximize {
+            out.push(RandomLp { maximize: false, ..self.clone() });
+        }
+        out
+    }
+}
+
+fn random_lp(rng: &mut StdRng) -> RandomLp {
+    let num_vars = rng.random_range(1usize..7);
+    let objective = (0..num_vars).map(|_| rng.random_range(-4i8..=6)).collect();
+    let rows = gen::vec(rng, 1..6, |r| {
+        (
+            r.random_range(0u8..3),
+            r.random_range(-4i8..=8),
+            gen::vec(r, 1..num_vars + 1, |r2| {
+                (r2.random_range(0..num_vars), r2.random_range(-3i8..=4))
+            }),
+        )
+    });
+    RandomLp {
+        objective,
+        rows,
+        maximize: rng.random(),
+    }
 }
 
 fn build(lp: &RandomLp) -> Model {
@@ -48,6 +72,11 @@ fn build(lp: &RandomLp) -> Model {
         .map(|(i, &c)| m.add_var(format!("x{i}"), f64::from(c)))
         .collect();
     for (r, (rel, rhs, coeffs)) in lp.rows.iter().enumerate() {
+        // Shrinking can empty a row's coefficients; the generator always
+        // emits at least one, so skip such rows rather than build 0 ⋈ rhs.
+        if coeffs.is_empty() {
+            continue;
+        }
         let relation = match rel % 3 {
             0 => Relation::Le,
             1 => Relation::Ge,
@@ -55,148 +84,194 @@ fn build(lp: &RandomLp) -> Model {
         };
         let row = m.add_constraint(format!("r{r}"), relation, f64::from(*rhs));
         for &(var, coeff) in coeffs {
-            m.set_coeff(row, vars[var], f64::from(coeff));
+            // Index modulo the variable count keeps shrunk cases in range.
+            m.set_coeff(row, vars[var % vars.len()], f64::from(coeff));
         }
     }
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Dense and sparse solvers agree on status and, when optimal, on the
-    /// objective value; optimal solutions validate from first principles.
-    #[test]
-    fn dense_and_sparse_agree(lp in random_lp_strategy()) {
-        let model = build(&lp);
-        let dense = model.solve_dense();
-        let sparse = model.solve(&SolverOptions::default());
-        match (dense, sparse) {
-            (Ok(d), Ok(s)) => {
-                let scale = 1.0 + d.objective.abs().max(s.objective.abs());
-                prop_assert!(
-                    (d.objective - s.objective).abs() < 1e-6 * scale,
-                    "dense {} vs sparse {}", d.objective, s.objective
-                );
-                let violations = validate_solution(&model, &s);
-                prop_assert!(violations.is_empty(), "sparse violations: {violations:?}");
-                let violations = validate_solution(&model, &d);
-                prop_assert!(violations.is_empty(), "dense violations: {violations:?}");
-            }
-            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
-            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
-            (d, s) => prop_assert!(false, "status mismatch: dense {d:?}, sparse {s:?}"),
-        }
-    }
-
-    /// Strong duality: at a reported optimum, the dual objective b'y equals
-    /// the primal objective (both solvers).
-    #[test]
-    fn strong_duality_holds(lp in random_lp_strategy()) {
-        let model = build(&lp);
-        if let Ok(sol) = model.solve(&SolverOptions::default()) {
-            // Dual objective: sum over rows of rhs * dual.
-            let mut dual_obj = 0.0;
-            for r in 0..model.num_constraints() {
-                // Row handles are dense indices by construction.
-                dual_obj += sol.duals[r] * rhs_of(&lp, r);
-            }
-            let scale = 1.0 + sol.objective.abs();
-            prop_assert!(
-                (dual_obj - sol.objective).abs() < 1e-5 * scale,
-                "primal {} vs dual {}", sol.objective, dual_obj
-            );
-        }
-    }
-
-    /// Scaling the objective scales the optimum (solver linearity sanity).
-    #[test]
-    fn objective_scaling(lp in random_lp_strategy(), factor in 1u8..5) {
-        let model = build(&lp);
-        let mut scaled_lp = lp.clone();
-        for c in &mut scaled_lp.objective {
-            *c = c.saturating_mul(factor as i8);
-        }
-        let scaled = build(&scaled_lp);
-        // Only meaningful when scaling didn't saturate.
-        let saturated = lp
-            .objective
-            .iter()
-            .any(|&c| i16::from(c) * i16::from(factor) != i16::from(c.saturating_mul(factor as i8)));
-        if !saturated {
-            match (model.solve(&SolverOptions::default()), scaled.solve(&SolverOptions::default())) {
-                (Ok(a), Ok(b)) => {
-                    let want = a.objective * f64::from(factor);
-                    let scale = 1.0 + want.abs();
+/// Dense and sparse solvers agree on status and, when optimal, on the
+/// objective value; optimal solutions validate from first principles.
+#[test]
+fn dense_and_sparse_agree() {
+    Checker::new("dense_and_sparse_agree")
+        .cases(200)
+        .regressions(REGRESSIONS)
+        .run(random_lp, |lp| {
+            let model = build(lp);
+            let dense = model.solve_dense();
+            let sparse = model.solve(&SolverOptions::default());
+            match (dense, sparse) {
+                (Ok(d), Ok(s)) => {
+                    let scale = 1.0 + d.objective.abs().max(s.objective.abs());
                     prop_assert!(
-                        (b.objective - want).abs() < 1e-5 * scale,
-                        "scaled {} vs expected {}", b.objective, want
+                        (d.objective - s.objective).abs() < 1e-6 * scale,
+                        "dense {} vs sparse {}",
+                        d.objective,
+                        s.objective
+                    );
+                    let violations = validate_solution(&model, &s);
+                    prop_assert!(violations.is_empty(), "sparse violations: {violations:?}");
+                    let violations = validate_solution(&model, &d);
+                    prop_assert!(violations.is_empty(), "dense violations: {violations:?}");
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+                (d, s) => prop_assert!(false, "status mismatch: dense {d:?}, sparse {s:?}"),
+            }
+            Ok(())
+        });
+}
+
+/// Strong duality: at a reported optimum, the dual objective b'y equals
+/// the primal objective (both solvers).
+#[test]
+fn strong_duality_holds() {
+    Checker::new("strong_duality_holds")
+        .cases(200)
+        .regressions(REGRESSIONS)
+        .run(random_lp, |lp| {
+            let model = build(lp);
+            if let Ok(sol) = model.solve(&SolverOptions::default()) {
+                // Dual objective: sum over rows of rhs * dual. Skipped
+                // (empty) rows never enter the model, so walk the kept rows
+                // in construction order.
+                let kept_rhs: Vec<f64> = lp
+                    .rows
+                    .iter()
+                    .filter(|(_, _, coeffs)| !coeffs.is_empty())
+                    .map(|&(_, rhs, _)| f64::from(rhs))
+                    .collect();
+                let mut dual_obj = 0.0;
+                for r in 0..model.num_constraints() {
+                    // Row handles are dense indices by construction.
+                    dual_obj += sol.duals[r] * kept_rhs[r];
+                }
+                let scale = 1.0 + sol.objective.abs();
+                prop_assert!(
+                    (dual_obj - sol.objective).abs() < 1e-5 * scale,
+                    "primal {} vs dual {}",
+                    sol.objective,
+                    dual_obj
+                );
+            }
+            Ok(())
+        });
+}
+
+/// Scaling the objective scales the optimum (solver linearity sanity).
+#[test]
+fn objective_scaling() {
+    Checker::new("objective_scaling")
+        .cases(200)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (random_lp(rng), rng.random_range(1u8..5)),
+            |(lp, factor)| {
+                let factor = (*factor).max(1); // shrinking may drive it to 0
+                let model = build(lp);
+                let mut scaled_lp = lp.clone();
+                for c in &mut scaled_lp.objective {
+                    *c = c.saturating_mul(factor as i8);
+                }
+                let scaled = build(&scaled_lp);
+                // Only meaningful when scaling didn't saturate.
+                let saturated = lp.objective.iter().any(|&c| {
+                    i16::from(c) * i16::from(factor) != i16::from(c.saturating_mul(factor as i8))
+                });
+                if !saturated {
+                    match (
+                        model.solve(&SolverOptions::default()),
+                        scaled.solve(&SolverOptions::default()),
+                    ) {
+                        (Ok(a), Ok(b)) => {
+                            let want = a.objective * f64::from(factor);
+                            let scale = 1.0 + want.abs();
+                            prop_assert!(
+                                (b.objective - want).abs() < 1e-5 * scale,
+                                "scaled {} vs expected {}",
+                                b.objective,
+                                want
+                            );
+                        }
+                        (Err(ea), Err(eb)) => prop_assert_eq!(
+                            std::mem::discriminant(&ea),
+                            std::mem::discriminant(&eb)
+                        ),
+                        (a, b) => prop_assert!(false, "scaling changed status: {a:?} vs {b:?}"),
+                    }
+                }
+                Ok(())
+            },
+        );
+}
+
+/// Presolve is equivalence-preserving: solving the presolved model and
+/// restoring gives the same objective (and a solution that validates on
+/// the original model) as solving directly. Status agreement includes
+/// presolve proving infeasibility/unboundedness early.
+#[test]
+fn presolve_preserves_equivalence() {
+    Checker::new("presolve_preserves_equivalence")
+        .cases(200)
+        .regressions(REGRESSIONS)
+        .run(random_lp, |lp| {
+            let model = build(lp);
+            let direct = model.solve(&SolverOptions::default());
+            let via = presolve(&model).and_then(|p| p.solve(&SolverOptions::default()));
+            match (direct, via) {
+                (Ok(a), Ok(b)) => {
+                    let scale = 1.0 + a.objective.abs().max(b.objective.abs());
+                    prop_assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * scale,
+                        "direct {} vs presolved {}",
+                        a.objective,
+                        b.objective
+                    );
+                    let violations = validate_solution(&model, &b);
+                    prop_assert!(violations.is_empty(), "restored violations: {violations:?}");
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+                (a, b) => prop_assert!(false, "status mismatch: direct {a:?}, presolved {b:?}"),
+            }
+            Ok(())
+        });
+}
+
+/// LP-format round trips preserve the optimum on random models.
+#[test]
+fn lp_format_round_trip() {
+    Checker::new("lp_format_round_trip")
+        .cases(200)
+        .regressions(REGRESSIONS)
+        .run(random_lp, |lp| {
+            let model = build(lp);
+            let text = cca_lp::write_lp(&model);
+            let parsed = cca_lp::parse_lp(&text);
+            prop_assert!(parsed.is_ok(), "parse failed: {:?}\n{text}", parsed.err());
+            let parsed = parsed.unwrap();
+            match (
+                model.solve(&SolverOptions::default()),
+                parsed.solve(&SolverOptions::default()),
+            ) {
+                (Ok(a), Ok(b)) => {
+                    let scale = 1.0 + a.objective.abs().max(b.objective.abs());
+                    prop_assert!(
+                        (a.objective - b.objective).abs() < 1e-6 * scale,
+                        "original {} vs reparsed {}",
+                        a.objective,
+                        b.objective
                     );
                 }
-                (Err(ea), Err(eb)) => prop_assert_eq!(
-                    std::mem::discriminant(&ea),
-                    std::mem::discriminant(&eb)
-                ),
-                (a, b) => prop_assert!(false, "scaling changed status: {a:?} vs {b:?}"),
+                (Err(ea), Err(eb)) => {
+                    prop_assert_eq!(std::mem::discriminant(&ea), std::mem::discriminant(&eb))
+                }
+                (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
             }
-        }
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Presolve is equivalence-preserving: solving the presolved model and
-    /// restoring gives the same objective (and a solution that validates on
-    /// the original model) as solving directly. Status agreement includes
-    /// presolve proving infeasibility/unboundedness early.
-    #[test]
-    fn presolve_preserves_equivalence(lp in random_lp_strategy()) {
-        let model = build(&lp);
-        let direct = model.solve(&SolverOptions::default());
-        let via = presolve(&model).and_then(|p| p.solve(&SolverOptions::default()));
-        match (direct, via) {
-            (Ok(a), Ok(b)) => {
-                let scale = 1.0 + a.objective.abs().max(b.objective.abs());
-                prop_assert!(
-                    (a.objective - b.objective).abs() < 1e-6 * scale,
-                    "direct {} vs presolved {}", a.objective, b.objective
-                );
-                let violations = validate_solution(&model, &b);
-                prop_assert!(violations.is_empty(), "restored violations: {violations:?}");
-            }
-            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
-            (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
-            (a, b) => prop_assert!(false, "status mismatch: direct {a:?}, presolved {b:?}"),
-        }
-    }
-
-    /// LP-format round trips preserve the optimum on random models.
-    #[test]
-    fn lp_format_round_trip(lp in random_lp_strategy()) {
-        let model = build(&lp);
-        let text = cca_lp::write_lp(&model);
-        let parsed = cca_lp::parse_lp(&text);
-        prop_assert!(parsed.is_ok(), "parse failed: {:?}\n{text}", parsed.err());
-        let parsed = parsed.unwrap();
-        match (model.solve(&SolverOptions::default()), parsed.solve(&SolverOptions::default())) {
-            (Ok(a), Ok(b)) => {
-                let scale = 1.0 + a.objective.abs().max(b.objective.abs());
-                prop_assert!(
-                    (a.objective - b.objective).abs() < 1e-6 * scale,
-                    "original {} vs reparsed {}", a.objective, b.objective
-                );
-            }
-            (Err(ea), Err(eb)) => prop_assert_eq!(
-                std::mem::discriminant(&ea), std::mem::discriminant(&eb)
-            ),
-            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
-        }
-    }
-}
-
-fn rhs_of(lp: &RandomLp, row: usize) -> f64 {
-    f64::from(lp.rows[row].1)
+            Ok(())
+        });
 }
 
 /// Deterministic regression cases distilled from fuzzing-style exploration.
@@ -232,4 +307,23 @@ fn regression_redundant_equalities_sparse() {
     m.add_constraint_with("e3", Relation::Eq, 12.0, [(x, 3.0), (y, 3.0)]);
     let sol = m.solve(&SolverOptions::default()).unwrap();
     assert!((sol.objective - 8.0).abs() < 1e-8); // x = 4, y = 0
+}
+
+/// The shrunk case once persisted in `property.proptest-regressions`:
+/// minimize −x0 subject to −x1 ≥ 0 and x1 ≥ 1. With x ≥ 0 this forces
+/// x1 ≤ 0 and x1 ≥ 1 at once, so both solvers must report infeasibility
+/// (historically the dense and sparse paths disagreed here).
+#[test]
+fn regression_conflicting_bounds_on_unused_variable() {
+    let lp = RandomLp {
+        objective: vec![-1, 0],
+        rows: vec![(1, 0, vec![(1, -1)]), (1, 1, vec![(1, 1)])],
+        maximize: false,
+    };
+    let model = build(&lp);
+    assert!(matches!(model.solve_dense(), Err(LpError::Infeasible)));
+    assert!(matches!(
+        model.solve(&SolverOptions::default()),
+        Err(LpError::Infeasible)
+    ));
 }

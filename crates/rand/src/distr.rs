@@ -1,0 +1,227 @@
+//! Standard and range-uniform sampling for the primitive types the
+//! workspace draws.
+
+use crate::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Types drawable by [`Rng::random`]: floats uniform in `[0, 1)`, integers
+/// uniform over their full range, fair booleans.
+pub trait StandardSample: Sized {
+    /// Draws one standard value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → uniform multiples of 2^-53 in [0, 1). The high
+        // bits are the best-scrambled ones in the xoshiro family.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        // Highest output bit: fair and independent of the low-bit quality
+        // of the underlying engine.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! standard_int_impl {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range types accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types uniformly drawable from a range.
+///
+/// [`SampleRange`] is implemented once, generically, for `Range<T>` and
+/// `RangeInclusive<T>` over any `T: SampleUniform`; keying the per-type
+/// logic on the *element* keeps integer-literal inference working at call
+/// sites like `1 + rng.random_range(0..4)` (the literal unifies with the
+/// surrounding expression's type, exactly as with the `rand` crate).
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[lo, hi)` (`inclusive == false`) or
+    /// `[lo, hi]` (`inclusive == true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (or, for floats, not finite).
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// Draws uniformly from `0..range` without modulo bias, via Lemire's
+/// widening-multiply rejection method (`range > 0`).
+fn sample_u64_below<R: Rng + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(range);
+    let mut low = m as u64;
+    if low < range {
+        // Reject the first `2^64 mod range` values of each residue class so
+        // every output is equally likely.
+        let threshold = range.wrapping_neg() % range;
+        while low < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(range);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! uniform_int_impl {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    // Two's-complement offset arithmetic handles signed
+                    // ranges.
+                    let span = (hi as $u).wrapping_sub(lo as $u);
+                    if u64::from(span) == u64::MAX {
+                        // Whole 64-bit domain: every output is in range.
+                        return rng.next_u64() as $t;
+                    }
+                    let offset = sample_u64_below(rng, u64::from(span) + 1);
+                    lo.wrapping_add(offset as $t)
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u);
+                    let offset = sample_u64_below(rng, u64::from(span));
+                    lo.wrapping_add(offset as $t)
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int_impl!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64
+);
+
+macro_rules! uniform_float_impl {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(
+                rng: &mut R,
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+            ) -> $t {
+                assert!(
+                    lo.is_finite() && hi.is_finite(),
+                    "cannot sample non-finite range"
+                );
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                }
+                let u = <$t as StandardSample>::sample_standard(rng);
+                // u < 1, so the result stays below `hi` for half-open
+                // finite spans.
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+uniform_float_impl!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn lemire_is_unbiased_on_small_range() {
+        // range 3 over u64: counts must be near-equal.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts = [0usize; 3];
+        let n = 90_000;
+        for _ in 0..n {
+            counts[sample_u64_below(&mut rng, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.01, "count {c}");
+        }
+    }
+
+    #[test]
+    fn signed_range_spans_zero() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..1000 {
+            let v: i8 = rng.random_range(-3i8..=5);
+            assert!((-3..=5).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_is_accepted() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = rng.random_range(0u64..=u64::MAX);
+        let b = rng.random_range(0u64..=u64::MAX);
+        // Two draws colliding has probability 2^-64.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_range_excludes_end_for_unit_spans() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(3.0..4.0);
+            assert!((3.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_inclusive_range_panics() {
+        let mut rng = StdRng::seed_from_u64(14);
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = rng.random_range(5i32..=4);
+    }
+}

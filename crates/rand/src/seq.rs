@@ -1,0 +1,81 @@
+//! Sequence-related randomness: shuffling and choosing.
+
+use crate::distr::SampleRange;
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates; uniform over all
+    /// permutations).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is 1/50! unlikely");
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform() {
+        // Position of element 0 after shuffling [0,1,2] must be ~uniform.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut at = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            let mut v = [0, 1, 2];
+            v.shuffle(&mut rng);
+            at[v.iter().position(|&x| x == 0).unwrap()] += 1;
+        }
+        for &c in &at {
+            assert!((c as f64 / n as f64 - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn choose_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}

@@ -126,8 +126,8 @@ mod tests {
     use super::*;
     use crate::stopwords::StopwordList;
     use cca_trace::{Corpus, TraceConfig, Vocabulary};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     #[test]
     fn placement_and_relocation_track_storage() {

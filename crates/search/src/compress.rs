@@ -299,8 +299,8 @@ mod tests {
     use super::*;
     use crate::stopwords::StopwordList;
     use cca_trace::{Corpus, TraceConfig, Vocabulary};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn p(v: &[u64]) -> Vec<PageId> {
         v.iter().map(|&x| PageId(x)).collect()

@@ -129,8 +129,8 @@ impl DocPartitionedCluster {
 mod tests {
     use super::*;
     use cca_trace::TraceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn fixture() -> (Corpus, Vocabulary, QueryLog) {
         let cfg = TraceConfig::tiny();

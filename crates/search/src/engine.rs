@@ -279,8 +279,8 @@ mod tests {
     use super::*;
     use crate::stopwords::StopwordList;
     use cca_trace::{Corpus, Query, TraceConfig, Vocabulary};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     /// Builds a hand-crafted index: word ids 0..4 with controlled posting
     /// sizes, placed on 2 nodes.

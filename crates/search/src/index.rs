@@ -171,8 +171,8 @@ impl InvertedIndex {
 mod tests {
     use super::*;
     use cca_trace::TraceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn build_tiny() -> (InvertedIndex, Vocabulary, Corpus) {
         let cfg = TraceConfig::tiny();

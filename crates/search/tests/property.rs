@@ -1,46 +1,60 @@
 //! Property-based tests for the search substrate: posting-list algebra,
 //! communication accounting, and placement sensitivity.
 
+use cca_check::{gen, prop_assert, prop_assert_eq, Checker};
 use cca_hash::PageId;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 use cca_search::{AggregationPolicy, Cluster, InvertedIndex, QueryEngine, StopwordList};
 use cca_trace::{Corpus, Query, QueryLog, TraceConfig, Vocabulary};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeSet;
+
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/property.regressions");
 
 fn pages(raw: &BTreeSet<u64>) -> Vec<PageId> {
     raw.iter().map(|&x| PageId(x)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+/// Posting-list intersection and union agree with set semantics.
+#[test]
+fn set_algebra() {
+    Checker::new("set_algebra").cases(200).regressions(REGRESSIONS).run(
+        |rng| {
+            (
+                gen::btree_set(rng, 0..40, |r| gen::int(r, 0u64..100)),
+                gen::btree_set(rng, 0..40, |r| gen::int(r, 0u64..100)),
+            )
+        },
+        |(a, b)| {
+            let (pa, pb) = (pages(a), pages(b));
+            let want_and: Vec<PageId> = a.intersection(b).map(|&x| PageId(x)).collect();
+            let want_or: Vec<PageId> = a.union(b).map(|&x| PageId(x)).collect();
+            prop_assert_eq!(InvertedIndex::intersect(&pa, &pb), want_and);
+            prop_assert_eq!(InvertedIndex::union(&pa, &pb), want_or);
+            Ok(())
+        },
+    );
+}
 
-    /// Posting-list intersection and union agree with set semantics.
-    #[test]
-    fn set_algebra(
-        a in proptest::collection::btree_set(0u64..100, 0..40),
-        b in proptest::collection::btree_set(0u64..100, 0..40),
-    ) {
-        let (pa, pb) = (pages(&a), pages(&b));
-        let want_and: Vec<PageId> = a.intersection(&b).map(|&x| PageId(x)).collect();
-        let want_or: Vec<PageId> = a.union(&b).map(|&x| PageId(x)).collect();
-        prop_assert_eq!(InvertedIndex::intersect(&pa, &pb), want_and);
-        prop_assert_eq!(InvertedIndex::union(&pa, &pb), want_or);
-    }
-
-    /// Intersection is commutative and bounded by either input.
-    #[test]
-    fn intersection_commutative(
-        a in proptest::collection::btree_set(0u64..60, 0..30),
-        b in proptest::collection::btree_set(0u64..60, 0..30),
-    ) {
-        let (pa, pb) = (pages(&a), pages(&b));
-        let ab = InvertedIndex::intersect(&pa, &pb);
-        let ba = InvertedIndex::intersect(&pb, &pa);
-        prop_assert_eq!(&ab, &ba);
-        prop_assert!(ab.len() <= pa.len().min(pb.len()));
-    }
+/// Intersection is commutative and bounded by either input.
+#[test]
+fn intersection_commutative() {
+    Checker::new("intersection_commutative").cases(200).regressions(REGRESSIONS).run(
+        |rng| {
+            (
+                gen::btree_set(rng, 0..30, |r| gen::int(r, 0u64..60)),
+                gen::btree_set(rng, 0..30, |r| gen::int(r, 0u64..60)),
+            )
+        },
+        |(a, b)| {
+            let (pa, pb) = (pages(a), pages(b));
+            let ab = InvertedIndex::intersect(&pa, &pb);
+            let ba = InvertedIndex::intersect(&pb, &pa);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert!(ab.len() <= pa.len().min(pb.len()));
+            Ok(())
+        },
+    );
 }
 
 struct Fixture {

@@ -2,7 +2,7 @@
 
 use crate::config::TraceConfig;
 use crate::words::{Vocabulary, WordId};
-use rand::Rng;
+use cca_rand::Rng;
 
 /// One synthetic web page: a URL and its set of distinct words (stopwords
 /// included — they are filtered at index-build time, as in the paper's
@@ -111,8 +111,8 @@ impl Corpus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn corpus_and_vocab() -> (Corpus, Vocabulary, TraceConfig) {
         let cfg = TraceConfig::tiny();

@@ -8,7 +8,7 @@
 //! paper's statistic before sampling noise.
 
 use crate::query::QueryModel;
-use rand::Rng;
+use cca_rand::Rng;
 
 /// Parameters of the drift model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,8 +69,8 @@ mod tests {
     use super::*;
     use crate::config::TraceConfig;
     use crate::words::Vocabulary;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     #[test]
     fn zero_sigma_is_identity() {

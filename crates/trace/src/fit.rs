@@ -69,8 +69,8 @@ pub fn fit_zipf(values_desc: &[f64]) -> Option<ZipfFit> {
 mod tests {
     use super::*;
     use crate::zipf::Zipf;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     #[test]
     fn recovers_exact_power_laws() {

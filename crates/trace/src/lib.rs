@@ -58,8 +58,8 @@ pub use stats::{PairKey, PairStats};
 pub use summary::WorkloadSummary;
 pub use words::{Vocabulary, WordId};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 /// A complete synthetic workload: vocabulary, corpus, and query log, all
 /// derived deterministically from one seed.

@@ -9,7 +9,7 @@
 use crate::config::TraceConfig;
 use crate::words::{Vocabulary, WordId};
 use crate::zipf::{sample_weighted, WeightedSampler, Zipf};
-use rand::Rng;
+use cca_rand::Rng;
 
 /// One user query: a set of distinct, non-stopword keywords.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -204,8 +204,8 @@ impl QueryModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn model_and_rng() -> (QueryModel, StdRng) {
         let cfg = TraceConfig::tiny();

@@ -2,7 +2,7 @@
 
 use crate::config::TraceConfig;
 use crate::zipf::Zipf;
-use rand::Rng;
+use cca_rand::Rng;
 
 /// Identifier of a vocabulary word (index into [`Vocabulary::words`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -144,8 +144,8 @@ fn synth_word<R: Rng + ?Sized>(rng: &mut R) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     fn vocab() -> Vocabulary {
         let mut rng = StdRng::seed_from_u64(11);

@@ -1,6 +1,6 @@
 //! Zipf-distributed sampling.
 
-use rand::Rng;
+use cca_rand::Rng;
 
 /// A sampler over ranks `0..n` with `P(rank k) ∝ 1/(k+1)^s`.
 ///
@@ -9,9 +9,9 @@ use rand::Rng;
 ///
 /// ```
 /// use cca_trace::zipf::Zipf;
-/// use rand::SeedableRng;
+/// use cca_rand::SeedableRng;
 /// let z = Zipf::new(100, 1.0);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = cca_rand::rngs::StdRng::seed_from_u64(1);
 /// let r = z.sample(&mut rng);
 /// assert!(r < 100);
 /// ```
@@ -156,8 +156,8 @@ pub fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cca_rand::rngs::StdRng;
+    use cca_rand::SeedableRng;
 
     #[test]
     fn probabilities_sum_to_one() {

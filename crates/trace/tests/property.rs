@@ -1,89 +1,156 @@
 //! Property-based tests for the workload generator and trace statistics.
 
+use cca_check::{gen, prop_assert, prop_assert_eq, Checker, StdRng};
+use cca_rand::SeedableRng;
 use cca_trace::stats::dominance_curves;
 use cca_trace::{PairKey, PairStats, Query, QueryLog, TraceConfig, Vocabulary, WordId, Workload};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn arbitrary_log() -> impl Strategy<Value = QueryLog> {
-    proptest::collection::vec(
-        proptest::collection::hash_set(0u32..60, 1..5),
-        1..120,
-    )
-    .prop_map(|queries| QueryLog {
-        queries: queries
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/property.regressions");
+
+/// Draws 1..120 queries of 1..5 distinct words over a 60-word universe —
+/// the raw material for [`log_of`]. Kept as plain vectors so the harness
+/// can shrink them structurally.
+fn arbitrary_queries(rng: &mut StdRng) -> Vec<Vec<u32>> {
+    gen::vec(rng, 1..120, |r| {
+        gen::hash_set(r, 1..5, |r2| gen::int(r2, 0u32..60))
             .into_iter()
-            .map(|set| Query {
-                words: set.into_iter().map(WordId).collect(),
-            })
-            .collect(),
-        universe: 60,
+            .collect()
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(120))]
-
-    /// Correlations are probabilities and symmetric in the pair key.
-    #[test]
-    fn correlations_are_probabilities(log in arbitrary_log()) {
-        let stats = PairStats::from_log(&log);
-        for (pair, r) in stats.iter() {
-            prop_assert!(r > 0.0 && r <= 1.0, "r = {r}");
-            prop_assert_eq!(r, stats.correlation(pair));
-            prop_assert_eq!(r, stats.correlation(PairKey::new(pair.1, pair.0)));
-        }
+/// Builds the [`QueryLog`] a raw case describes. Total on every shrink of
+/// [`arbitrary_queries`] output: words are deduplicated and empty queries
+/// dropped, so shrunk cases keep the generator's invariants.
+fn log_of(raw: &[Vec<u32>]) -> QueryLog {
+    QueryLog {
+        queries: raw
+            .iter()
+            .filter(|words| !words.is_empty())
+            .map(|words| {
+                let mut words: Vec<u32> = words.clone();
+                words.sort_unstable();
+                words.dedup();
+                Query {
+                    words: words.into_iter().map(WordId).collect(),
+                }
+            })
+            .collect(),
+        universe: 60,
     }
+}
 
-    /// Top pairs are sorted descending and bounded by the pair count.
-    #[test]
-    fn top_pairs_sorted(log in arbitrary_log(), k in 1usize..50) {
-        let stats = PairStats::from_log(&log);
-        let top = stats.top_pairs(k);
-        prop_assert!(top.len() <= k.min(stats.num_pairs()));
-        prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
-    }
+/// Correlations are probabilities and symmetric in the pair key.
+#[test]
+fn correlations_are_probabilities() {
+    Checker::new("correlations_are_probabilities")
+        .cases(120)
+        .regressions(REGRESSIONS)
+        .run(arbitrary_queries, |raw| {
+            let log = log_of(raw);
+            if log.len() == 0 {
+                return Ok(());
+            }
+            let stats = PairStats::from_log(&log);
+            for (pair, r) in stats.iter() {
+                prop_assert!(r > 0.0 && r <= 1.0, "r = {r}");
+                prop_assert_eq!(r, stats.correlation(pair));
+                prop_assert_eq!(r, stats.correlation(PairKey::new(pair.1, pair.0)));
+            }
+            Ok(())
+        });
+}
 
-    /// The two-smallest adjustment counts exactly one pair per multi-word
-    /// query, so its total mass never exceeds the all-pairs mass.
-    #[test]
-    fn two_smallest_counts_one_pair_per_query(log in arbitrary_log()) {
-        let all = PairStats::from_log(&log);
-        let two = PairStats::from_log_two_smallest(&log, |w| u64::from(w.0) + 1);
-        let mass = |s: &PairStats| s.iter().map(|(_, r)| r).sum::<f64>();
-        prop_assert!(mass(&two) <= mass(&all) + 1e-12);
-        let multi = log.iter().filter(|q| q.len() >= 2).count() as f64;
-        let expected = multi / log.len() as f64;
-        prop_assert!((mass(&two) - expected).abs() < 1e-9,
-            "two-smallest mass {} vs multiword fraction {}", mass(&two), expected);
-    }
+/// Top pairs are sorted descending and bounded by the pair count.
+#[test]
+fn top_pairs_sorted() {
+    Checker::new("top_pairs_sorted")
+        .cases(120)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (arbitrary_queries(rng), gen::int(rng, 1usize..50)),
+            |(raw, k)| {
+                let k = *k;
+                let log = log_of(raw);
+                if log.len() == 0 {
+                    return Ok(());
+                }
+                let stats = PairStats::from_log(&log);
+                let top = stats.top_pairs(k);
+                prop_assert!(top.len() <= k.min(stats.num_pairs()));
+                prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+                Ok(())
+            },
+        );
+}
 
-    /// Dominance curves are monotone in [0, 1] and end at 1 when the
-    /// ranking covers every word with size/pairs.
-    #[test]
-    fn dominance_curves_monotone(log in arbitrary_log()) {
-        let stats = PairStats::from_log(&log);
-        let ranking: Vec<WordId> = (0..60).map(WordId).collect();
-        let curves = dominance_curves(&ranking, |w| 1.0 + f64::from(w.0), &stats, |_, r| r);
-        for series in [&curves.cum_size, &curves.cum_cost] {
-            prop_assert!(series.windows(2).all(|w| w[0] <= w[1] + 1e-12));
-            prop_assert!(series.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
-        }
-        prop_assert!((curves.cum_size.last().unwrap() - 1.0).abs() < 1e-9);
-        if stats.num_pairs() > 0 {
-            prop_assert!((curves.cum_cost.last().unwrap() - 1.0).abs() < 1e-9);
-        }
-    }
+/// The two-smallest adjustment counts exactly one pair per multi-word
+/// query, so its total mass never exceeds the all-pairs mass.
+#[test]
+fn two_smallest_counts_one_pair_per_query() {
+    Checker::new("two_smallest_counts_one_pair_per_query")
+        .cases(120)
+        .regressions(REGRESSIONS)
+        .run(arbitrary_queries, |raw| {
+            let log = log_of(raw);
+            if log.len() == 0 {
+                return Ok(());
+            }
+            let all = PairStats::from_log(&log);
+            let two = PairStats::from_log_two_smallest(&log, |w| u64::from(w.0) + 1);
+            let mass = |s: &PairStats| s.iter().map(|(_, r)| r).sum::<f64>();
+            prop_assert!(mass(&two) <= mass(&all) + 1e-12);
+            let multi = log.iter().filter(|q| q.len() >= 2).count() as f64;
+            let expected = multi / log.len() as f64;
+            prop_assert!(
+                (mass(&two) - expected).abs() < 1e-9,
+                "two-smallest mass {} vs multiword fraction {}",
+                mass(&two),
+                expected
+            );
+            Ok(())
+        });
+}
 
-    /// The importance ranking contains each paired keyword exactly once.
-    #[test]
-    fn importance_ranking_is_a_set(log in arbitrary_log()) {
-        let stats = PairStats::from_log(&log);
-        let ranking = stats.importance_ranking(|_, r| r);
-        let set: std::collections::HashSet<_> = ranking.iter().collect();
-        prop_assert_eq!(set.len(), ranking.len());
-    }
+/// Dominance curves are monotone in [0, 1] and end at 1 when the
+/// ranking covers every word with size/pairs.
+#[test]
+fn dominance_curves_monotone() {
+    Checker::new("dominance_curves_monotone")
+        .cases(120)
+        .regressions(REGRESSIONS)
+        .run(arbitrary_queries, |raw| {
+            let log = log_of(raw);
+            if log.len() == 0 {
+                return Ok(());
+            }
+            let stats = PairStats::from_log(&log);
+            let ranking: Vec<WordId> = (0..60).map(WordId).collect();
+            let curves = dominance_curves(&ranking, |w| 1.0 + f64::from(w.0), &stats, |_, r| r);
+            for series in [&curves.cum_size, &curves.cum_cost] {
+                prop_assert!(series.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+                prop_assert!(series.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+            }
+            prop_assert!((curves.cum_size.last().unwrap() - 1.0).abs() < 1e-9);
+            if stats.num_pairs() > 0 {
+                prop_assert!((curves.cum_cost.last().unwrap() - 1.0).abs() < 1e-9);
+            }
+            Ok(())
+        });
+}
+
+/// The importance ranking contains each paired keyword exactly once.
+#[test]
+fn importance_ranking_is_a_set() {
+    Checker::new("importance_ranking_is_a_set")
+        .cases(120)
+        .regressions(REGRESSIONS)
+        .run(arbitrary_queries, |raw| {
+            let stats = PairStats::from_log(&log_of(raw));
+            let ranking = stats.importance_ranking(|_, r| r);
+            let set: std::collections::HashSet<_> = ranking.iter().collect();
+            prop_assert_eq!(set.len(), ranking.len());
+            Ok(())
+        });
 }
 
 /// Generator-level invariants on a real (tiny) workload.

@@ -17,8 +17,8 @@
 
 use cca::algo::{place, CcaProblem, ObjectId, Strategy};
 use cca::trace::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cca_rand::rngs::StdRng;
+use cca_rand::{Rng, SeedableRng};
 
 /// A multi-partition search: indices of the requested partitions.
 struct SequenceQuery {

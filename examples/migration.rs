@@ -15,8 +15,8 @@ use cca::algo::{migration_bytes, reconcile, MigrateOptions, Strategy};
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::search::{AggregationPolicy, QueryEngine};
 use cca::trace::{DriftConfig, TraceConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = PipelineConfig::new(TraceConfig::small(), 10);

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Verifies the workspace is hermetic: it must build and test with the
+# crates.io registry unreachable, and the dependency tree must contain
+# only workspace-local crates (the `cca-*` family plus the root package).
+#
+# Run from anywhere inside the repo:
+#   scripts/check_hermetic.sh [--quick]
+#
+# --quick skips the test run (build + tree check only).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
+
+# Forbid any network access from cargo: offline mode fails fast if any
+# dependency would need to be fetched.
+export CARGO_NET_OFFLINE=true
+
+echo "== hermetic check: dependency tree =="
+TREE=$(cargo tree --workspace --edges normal,build,dev --prefix none 2>&1)
+echo "$TREE"
+
+# Every line of `cargo tree` must be a workspace member: the root package
+# `cca` or a `cca-*` crate, each with a local `(/...)` path source and no
+# registry hash.
+BAD=$(printf '%s\n' "$TREE" | sed 's/ (\*)$//' | grep -v -E '^(cca|cca-[a-z]+) v[0-9][^ ]* \(/' || true)
+if [[ -n "$BAD" ]]; then
+    echo "ERROR: non-workspace dependencies found:" >&2
+    printf '%s\n' "$BAD" >&2
+    exit 1
+fi
+echo "OK: only workspace-local crates in the tree."
+
+echo
+echo "== hermetic check: offline release build =="
+cargo build --release --workspace --all-targets
+
+if [[ "$QUICK" -eq 0 ]]; then
+    echo
+    echo "== hermetic check: offline test run =="
+    cargo test -q --workspace
+fi
+
+echo
+echo "hermetic check passed."

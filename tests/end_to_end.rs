@@ -5,8 +5,8 @@ use cca::algo::{LprrOptions, Strategy};
 use cca::pipeline::{CorrelationMode, Evaluation, Pipeline, PipelineConfig};
 use cca::search::{AggregationPolicy, QueryEngine};
 use cca::trace::{DriftConfig, TraceConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 fn pipeline(seed: u64, nodes: usize) -> Pipeline {
     let mut config = PipelineConfig::new(TraceConfig::small(), nodes);

@@ -5,8 +5,8 @@ use cca::algo::{RelaxMethod, RelaxOptions, Strategy};
 use cca::lp::{validate_solution, Model, Relation, SolverOptions};
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cca_rand::rngs::StdRng;
+use cca_rand::{Rng, SeedableRng};
 
 /// The full paper-scaled pipeline: 25k keywords, 200k queries, all three
 /// strategies, strict ordering. Takes ~30 s in release mode.

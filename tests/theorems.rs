@@ -8,8 +8,8 @@ use cca::algo::{
 };
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 
 /// A small CCA subproblem carved from the real pipeline, so the theorem
 /// checks run against realistic sizes/correlations rather than toys.
@@ -34,7 +34,7 @@ fn lemma1_rounding_marginals() {
     let mut rng = StdRng::seed_from_u64(1);
     let mut counts = vec![vec![0u32; n]; sub.num_objects()];
     for _ in 0..trials {
-        let placement = round_once(&out.fractional, &mut rng);
+        let placement = round_once(&out.fractional, &mut rng).expect("stochastic vertex");
         for o in sub.objects() {
             counts[o.index()][placement.node_of(o)] += 1;
         }
@@ -61,7 +61,7 @@ fn lemma2_split_probability_bound() {
     let mut rng = StdRng::seed_from_u64(2);
     let mut split_counts = vec![0u32; sub.pairs().len()];
     for _ in 0..trials {
-        let placement = round_once(&out.fractional, &mut rng);
+        let placement = round_once(&out.fractional, &mut rng).expect("stochastic vertex");
         for (e, pair) in sub.pairs().iter().enumerate() {
             if placement.node_of(pair.a) != placement.node_of(pair.b) {
                 split_counts[e] += 1;
@@ -92,7 +92,7 @@ fn theorem2_expected_cost() {
     assert!(degen.objective.abs() < 1e-9);
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..500 {
-        let placement = round_once(&degen.fractional, &mut rng);
+        let placement = round_once(&degen.fractional, &mut rng).expect("stochastic vertex");
         assert_eq!(placement.communication_cost(&sub), 0.0);
     }
 
@@ -100,7 +100,7 @@ fn theorem2_expected_cost() {
     let clustered = solve_relaxation(&sub, None, &RelaxOptions::default()).unwrap();
     let trials = 4000;
     let total: f64 = (0..trials)
-        .map(|_| round_once(&clustered.fractional, &mut rng).communication_cost(&sub))
+        .map(|_| round_once(&clustered.fractional, &mut rng).expect("stochastic vertex").communication_cost(&sub))
         .sum();
     let emp = total / f64::from(trials);
     let spread = 0.05 * (1.0 + sub.total_pair_weight());
@@ -129,7 +129,7 @@ fn theorem3_expected_loads() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut sums = vec![0.0f64; sub.num_nodes()];
         for _ in 0..trials {
-            let placement = round_once(&out.fractional, &mut rng);
+            let placement = round_once(&out.fractional, &mut rng).expect("stochastic vertex");
             for (k, load) in placement.loads(&sub).iter().enumerate() {
                 sums[k] += *load as f64;
             }
