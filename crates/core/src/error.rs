@@ -35,6 +35,9 @@ pub enum CcaError {
         /// Steps performed before giving up.
         steps: usize,
     },
+    /// The problem instance itself is invalid (zero-size object, all-zero
+    /// capacities, bad pair weights, ...).
+    Problem(crate::problem::ProblemError),
 }
 
 impl fmt::Display for CcaError {
@@ -53,6 +56,7 @@ impl fmt::Display for CcaError {
             CcaError::RoundingDiverged { steps } => {
                 write!(f, "rounding failed to converge after {steps} steps")
             }
+            CcaError::Problem(e) => write!(f, "invalid problem: {e}"),
         }
     }
 }
@@ -61,6 +65,7 @@ impl std::error::Error for CcaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CcaError::Lp(e) => Some(e),
+            CcaError::Problem(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +74,12 @@ impl std::error::Error for CcaError {
 impl From<cca_lp::LpError> for CcaError {
     fn from(e: cca_lp::LpError) -> Self {
         CcaError::Lp(e)
+    }
+}
+
+impl From<crate::problem::ProblemError> for CcaError {
+    fn from(e: crate::problem::ProblemError) -> Self {
+        CcaError::Problem(e)
     }
 }
 
@@ -101,5 +112,12 @@ mod tests {
         assert_eq!(e, CcaError::Lp(cca_lp::LpError::Unbounded));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&CcaError::NoRepetitions).is_none());
+    }
+
+    #[test]
+    fn problem_errors_convert_and_chain() {
+        let e: CcaError = crate::problem::ProblemError::ZeroCapacity.into();
+        assert!(e.to_string().contains("zero capacity"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

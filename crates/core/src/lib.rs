@@ -72,6 +72,7 @@ pub mod problem;
 pub mod random;
 pub mod relax;
 pub mod repair;
+pub mod resilience;
 pub mod resources;
 pub mod rounding;
 pub mod scope;
@@ -89,10 +90,16 @@ pub use problem::{CcaProblem, CcaProblemBuilder, ObjectId, Pair, ProblemError};
 pub use random::random_hash_placement;
 pub use relax::{
     construct_clustered_vertex, construct_optimal_vertex, solve_relaxation, RelaxMethod, RelaxOptions, RelaxOutcome,
+    StopReason,
 };
 pub use repair::{repair_capacity, RepairOutcome};
+pub use resilience::{
+    solve_resilient, solve_resilient_with_faults, survive_node_loss, DegradationReport, FaultPlan,
+    NodeLossReport, ResilienceOptions, ResilientPlacement, Rung, RungAttempt, RungOutcome,
+    SolveBudget, LADDER,
+};
 pub use resources::{Resource, ResourceError};
 pub use error::{CcaError, PlaceError};
-pub use rounding::{round_best_of, round_once, RoundingOutcome};
+pub use rounding::{round_best_of, round_best_of_within, round_once, RoundingOutcome};
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
 pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

@@ -58,6 +58,13 @@ pub enum ProblemError {
     InvalidNumber(String),
     /// The problem has no nodes.
     NoNodes,
+    /// An object has size zero (it would be invisible to every capacity
+    /// constraint and to hash-based placement weights).
+    ZeroSizeObject(ObjectId),
+    /// Every node has zero capacity, so nothing can ever be placed.
+    /// (Individual zero-capacity nodes stay legal — they model failed or
+    /// drained nodes.)
+    ZeroCapacity,
     /// A secondary resource's vectors do not match the problem dimensions.
     Resource(ResourceError),
 }
@@ -69,6 +76,8 @@ impl fmt::Display for ProblemError {
             ProblemError::SelfPair(o) => write!(f, "pair connects {o} to itself"),
             ProblemError::InvalidNumber(msg) => write!(f, "invalid number: {msg}"),
             ProblemError::NoNodes => f.write_str("problem has no nodes"),
+            ProblemError::ZeroSizeObject(o) => write!(f, "object {o} has size zero"),
+            ProblemError::ZeroCapacity => f.write_str("every node has zero capacity"),
             ProblemError::Resource(e) => write!(f, "invalid resource: {e}"),
         }
     }
@@ -407,6 +416,12 @@ impl CcaProblemBuilder {
         if self.capacities.is_empty() {
             return Err(ProblemError::NoNodes);
         }
+        if let Some(i) = self.sizes.iter().position(|&s| s == 0) {
+            return Err(ProblemError::ZeroSizeObject(ObjectId(i as u32)));
+        }
+        if self.capacities.iter().all(|&c| c == 0) {
+            return Err(ProblemError::ZeroCapacity);
+        }
         let mut pairs: Vec<Pair> = self
             .pair_weights
             .iter()
@@ -516,6 +531,32 @@ mod tests {
         let mut b = CcaProblem::builder();
         b.add_object("a", 1);
         assert!(matches!(b.build(), Err(ProblemError::NoNodes)));
+    }
+
+    #[test]
+    fn build_rejects_zero_size_objects() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        b.add_object("ghost", 0);
+        assert!(matches!(
+            b.uniform_capacities(2, 10).build(),
+            Err(ProblemError::ZeroSizeObject(ObjectId(1)))
+        ));
+    }
+
+    #[test]
+    fn build_rejects_all_zero_capacities() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        assert!(matches!(
+            b.uniform_capacities(3, 0).build(),
+            Err(ProblemError::ZeroCapacity)
+        ));
+        // A single dead node among live ones stays legal: it models a
+        // failed node the resilience layer routes around.
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 1);
+        assert!(b.capacities(vec![0, 10]).build().is_ok());
     }
 
     #[test]

@@ -44,6 +44,40 @@ pub enum RelaxMethod {
     CuttingPlane,
 }
 
+/// Why [`solve_relaxation`] stopped (see [`RelaxOutcome::stop`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// Separation found no violated cut: the Figure-4 optimum was reached.
+    Converged,
+    /// [`RelaxOptions::max_rounds`] solve/separate rounds were exhausted.
+    RoundLimit,
+    /// The LP iteration budget ([`RelaxOptions::max_total_lp_iterations`]
+    /// or the per-solve [`SolverOptions::max_iterations`]) ran out; the
+    /// outcome holds the best fractional solution found so far.
+    IterationCap,
+    /// The wall-clock deadline ([`SolverOptions::deadline`]) passed; the
+    /// outcome holds the best fractional solution found so far.
+    Deadline,
+    /// The simplex raised a numerical-health alarm (non-finite values or a
+    /// stalled objective) after at least one clean round; the outcome holds
+    /// the last healthy fractional solution.
+    NumericalAlarm,
+}
+
+impl StopReason {
+    /// Short machine-readable label (used in degradation reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::RoundLimit => "round-limit",
+            StopReason::IterationCap => "iteration-cap",
+            StopReason::Deadline => "deadline",
+            StopReason::NumericalAlarm => "numerical-alarm",
+        }
+    }
+}
+
 /// Options for [`solve_relaxation`].
 #[derive(Debug, Clone)]
 pub struct RelaxOptions {
@@ -52,6 +86,10 @@ pub struct RelaxOptions {
     /// Maximum solve/separate rounds before giving up (the outcome then has
     /// `converged = false` and its objective is a lower bound).
     pub max_rounds: usize,
+    /// Budget on simplex iterations summed across all cut-generation
+    /// rounds; once exhausted the solve stops with the best solution so
+    /// far ([`StopReason::IterationCap`]). `0` means no budget.
+    pub max_total_lp_iterations: u64,
     /// A cut must be violated by more than this to be added.
     pub tolerance: f64,
     /// At most this many cuts are added per round (most violated first).
@@ -70,6 +108,7 @@ impl Default for RelaxOptions {
         RelaxOptions {
             method: RelaxMethod::default(),
             max_rounds: 60,
+            max_total_lp_iterations: 0,
             tolerance: 1e-6,
             max_cuts_per_round: 8192,
             sign_epsilon: 1e-9,
@@ -93,10 +132,12 @@ pub struct RelaxOutcome {
     /// Total cuts in the final LP.
     pub cuts: usize,
     /// Whether separation found no violated cut (i.e. the Figure-4 optimum
-    /// was reached).
+    /// was reached). Equivalent to `stop == StopReason::Converged`.
     pub converged: bool,
     /// Total simplex iterations across rounds.
     pub lp_iterations: u64,
+    /// Why the solve stopped (budget accounting for the resilience layer).
+    pub stop: StopReason,
 }
 
 /// One generated cut: pair `e` with sparse sign pattern over nodes.
@@ -264,6 +305,7 @@ pub fn construct_clustered_vertex(problem: &CcaProblem) -> Result<RelaxOutcome, 
         cuts: 0,
         converged: true,
         lp_iterations: 0,
+        stop: StopReason::Converged,
     })
 }
 
@@ -395,6 +437,7 @@ pub fn construct_optimal_vertex(problem: &CcaProblem) -> Result<RelaxOutcome, Lp
         cuts: 0,
         converged: true,
         lp_iterations: 0,
+        stop: StopReason::Converged,
     })
 }
 
@@ -439,10 +482,29 @@ fn solve_by_cutting_planes(
 
     let mut rounds = 0;
     let mut lp_iterations = 0u64;
-    let mut converged = false;
+    let mut stop = StopReason::RoundLimit;
     let mut best: Option<(FractionalPlacement, f64)> = None;
 
     while rounds < options.max_rounds.max(1) {
+        // Budget checks between rounds: once a usable solution exists,
+        // exhausting the wall clock or the iteration budget degrades to
+        // best-so-far instead of erroring.
+        if best.is_some() {
+            if options
+                .solver
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                stop = StopReason::Deadline;
+                break;
+            }
+            if options.max_total_lp_iterations > 0
+                && lp_iterations >= options.max_total_lp_iterations
+            {
+                stop = StopReason::IterationCap;
+                break;
+            }
+        }
         rounds += 1;
 
         // Assemble the LP.
@@ -503,10 +565,40 @@ fn solve_by_cutting_planes(
             model.add_constraint_with(format!("cut_{c}"), Relation::Ge, 0.0, coeffs);
         }
 
-        let sol = if options.use_dense_solver {
-            model.solve_dense()?
+        let solved = if options.use_dense_solver {
+            model.solve_dense()
         } else {
-            model.solve(&options.solver)?
+            let mut solver_opts = options.solver.clone();
+            if options.max_total_lp_iterations > 0 {
+                let remaining = options.max_total_lp_iterations - lp_iterations;
+                solver_opts.max_iterations = if solver_opts.max_iterations == 0 {
+                    remaining
+                } else {
+                    solver_opts.max_iterations.min(remaining)
+                };
+            }
+            model.solve(&solver_opts)
+        };
+        let sol = match solved {
+            Ok(sol) => sol,
+            // A budget or health failure mid-run degrades to the best
+            // solution found by earlier rounds; with no earlier round the
+            // error propagates.
+            Err(LpError::IterationLimit { iterations }) if best.is_some() => {
+                lp_iterations += iterations;
+                stop = StopReason::IterationCap;
+                break;
+            }
+            Err(LpError::DeadlineExceeded { iterations }) if best.is_some() => {
+                lp_iterations += iterations;
+                stop = StopReason::Deadline;
+                break;
+            }
+            Err(LpError::Numerical(_) | LpError::Stalled { .. }) if best.is_some() => {
+                stop = StopReason::NumericalAlarm;
+                break;
+            }
+            Err(e) => return Err(e),
         };
         lp_iterations += sol.iterations;
 
@@ -541,7 +633,7 @@ fn solve_by_cutting_planes(
         }
 
         if violated.is_empty() {
-            converged = true;
+            stop = StopReason::Converged;
             let objective = frac.expected_cost(problem);
             best = Some((frac, objective));
             break;
@@ -563,8 +655,9 @@ fn solve_by_cutting_planes(
         objective,
         rounds,
         cuts: cuts.len(),
-        converged,
+        converged: stop == StopReason::Converged,
         lp_iterations,
+        stop,
     })
 }
 
@@ -646,6 +739,47 @@ mod tests {
         assert!(matches!(
             solve_relaxation(&p, None, &cp()),
             Err(LpError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_degrades_to_best_so_far() {
+        // The 3-clique needs more than one solve/separate round, so a
+        // budget just below the unconstrained total must stop mid-run with
+        // the best solution so far instead of erroring.
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..3).map(|i| b.add_object(format!("o{i}"), 10)).collect();
+        b.add_pair(o[0], o[1], 1.0, 5.0).unwrap();
+        b.add_pair(o[1], o[2], 1.0, 3.0).unwrap();
+        b.add_pair(o[0], o[2], 1.0, 2.0).unwrap();
+        let p = b.uniform_capacities(3, 10).build().unwrap();
+        let full = solve_relaxation(&p, None, &cp()).unwrap();
+        assert_eq!(full.stop, StopReason::Converged);
+        assert!(full.rounds > 1, "need a multi-round instance");
+        assert!(full.lp_iterations > 1);
+        let out = solve_relaxation(
+            &p,
+            None,
+            &RelaxOptions {
+                max_total_lp_iterations: full.lp_iterations - 1,
+                ..cp()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stop, StopReason::IterationCap);
+        assert!(!out.converged);
+        assert!(out.lp_iterations <= full.lp_iterations);
+        assert!(out.fractional.is_stochastic(1e-6));
+    }
+
+    #[test]
+    fn expired_deadline_with_no_progress_propagates() {
+        let p = tiny_problem();
+        let mut o = cp();
+        o.solver.deadline = Some(std::time::Instant::now());
+        assert!(matches!(
+            solve_relaxation(&p, None, &o),
+            Err(LpError::DeadlineExceeded { .. })
         ));
     }
 

@@ -74,8 +74,44 @@ pub struct RoundingOutcome {
     pub cost: f64,
     /// Whether it satisfies the capacities (with the slack used).
     pub within_capacity: bool,
-    /// Number of rounding repetitions performed.
+    /// Number of rounding repetitions actually performed (may be fewer
+    /// than requested when a deadline cuts the loop short).
     pub repetitions: usize,
+    /// Worst load-to-raw-capacity ratio across storage and every
+    /// secondary resource (1.0 = exactly full; `INFINITY` if a
+    /// zero-capacity node carries load). Lets callers rank candidates
+    /// even when none is feasible.
+    pub max_load_ratio: f64,
+}
+
+/// Worst per-node load divided by *raw* (un-slacked) capacity, across the
+/// storage dimension and every secondary resource. A node with zero
+/// capacity and non-zero load yields `INFINITY`; with zero load it
+/// contributes nothing.
+pub(crate) fn max_load_ratio(problem: &CcaProblem, placement: &Placement) -> f64 {
+    fn worst(loads: &[u64], capacity: impl Fn(usize) -> u64) -> f64 {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(k, &load)| {
+                let cap = capacity(k);
+                if load == 0 {
+                    0.0
+                } else if cap == 0 {
+                    f64::INFINITY
+                } else {
+                    load as f64 / cap as f64
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+    let mut ratio = worst(&placement.loads(problem), |k| problem.capacity(k));
+    for (r, resource) in problem.resources().iter().enumerate() {
+        ratio = ratio.max(worst(&placement.resource_loads(problem, r), |k| {
+            resource.capacity(k)
+        }));
+    }
+    ratio
 }
 
 /// Runs Algorithm 2.1 `repetitions` times and keeps the best placement, as
@@ -83,8 +119,11 @@ pub struct RoundingOutcome {
 /// randomized rounding several times and pick the best solution."
 ///
 /// Capacity-respecting placements (within `capacity_slack`, e.g. `1.0` for
-/// strict) are preferred over violating ones; among equals, lower
-/// communication cost wins.
+/// strict) are preferred over violating ones; among feasible candidates
+/// lower communication cost wins, and among infeasible ones the *least
+/// overloaded* (smallest [`RoundingOutcome::max_load_ratio`], ties broken
+/// by cost) wins, so even an all-infeasible run hands back the most
+/// repairable placement instead of an arbitrary one.
 ///
 /// # Errors
 ///
@@ -96,6 +135,21 @@ pub fn round_best_of<R: Rng + ?Sized>(
     problem: &CcaProblem,
     repetitions: usize,
     capacity_slack: f64,
+    rng: &mut R,
+) -> Result<RoundingOutcome, CcaError> {
+    round_best_of_within(fractional, problem, repetitions, capacity_slack, None, rng)
+}
+
+/// Deadline-aware [`round_best_of`]: once at least one candidate exists,
+/// the repetition loop stops early when `deadline` has passed, and
+/// [`RoundingOutcome::repetitions`] records how many runs actually
+/// happened. `None` behaves exactly like [`round_best_of`].
+pub fn round_best_of_within<R: Rng + ?Sized>(
+    fractional: &FractionalPlacement,
+    problem: &CcaProblem,
+    repetitions: usize,
+    capacity_slack: f64,
+    deadline: Option<std::time::Instant>,
     rng: &mut R,
 ) -> Result<RoundingOutcome, CcaError> {
     if repetitions == 0 {
@@ -115,25 +169,43 @@ pub fn round_best_of<R: Rng + ?Sized>(
             actual: fractional.num_nodes(),
         });
     }
-    let mut best: Option<(bool, f64, Placement)> = None;
+    let mut best: Option<(bool, f64, f64, Placement)> = None;
+    let mut performed = 0usize;
     for _ in 0..repetitions {
+        if best.is_some() {
+            if let Some(deadline) = deadline {
+                if std::time::Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
         let p = round_once(fractional, rng)?;
+        performed += 1;
         let cost = p.communication_cost(problem);
         let feasible = p.within_all_capacities(problem, capacity_slack);
+        let ratio = max_load_ratio(problem, &p);
         let better = match &best {
             None => true,
-            Some((bf, bc, _)) => (feasible, -cost) > (*bf, -*bc) || (feasible == *bf && cost < *bc),
+            Some((bf, bc, br, _)) => match (feasible, *bf) {
+                (true, false) => true,
+                (false, true) => false,
+                // Both feasible: cheapest wins.
+                (true, true) => cost < *bc,
+                // Both infeasible: least overloaded wins, ties by cost.
+                (false, false) => ratio < *br || (ratio == *br && cost < *bc),
+            },
         };
         if better {
-            best = Some((feasible, cost, p));
+            best = Some((feasible, cost, ratio, p));
         }
     }
-    let (within_capacity, cost, placement) = best.expect("repetitions > 0");
+    let (within_capacity, cost, max_load_ratio, placement) = best.expect("repetitions > 0");
     Ok(RoundingOutcome {
         placement,
         cost,
         within_capacity,
-        repetitions,
+        repetitions: performed,
+        max_load_ratio,
     })
 }
 
@@ -301,6 +373,63 @@ mod tests {
         assert!(out.within_capacity);
         assert!((out.cost - 5.0).abs() < 1e-12);
         assert_eq!(out.repetitions, 64);
+    }
+
+    #[test]
+    fn all_infeasible_selects_least_overloaded() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 10);
+        let o1 = b.add_object("b", 10);
+        b.add_pair(o0, o1, 1.0, 5.0).unwrap();
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        // With zero slack no outcome is "feasible": co-location loads one
+        // node to 20/10 (ratio 2.0, cost 0) while a split loads both to
+        // 10/10 (ratio 1.0, cost 5). The least-overloaded rule must pick
+        // the split despite its higher cost.
+        let f = frac(vec![0.9, 0.1, 0.1, 0.9], 2, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = round_best_of(&f, &p, 64, 0.0, &mut rng).unwrap();
+        assert!(!out.within_capacity);
+        assert!((out.max_load_ratio - 1.0).abs() < 1e-12);
+        assert!((out.cost - 5.0).abs() < 1e-12);
+        assert_ne!(
+            out.placement.node_of(ObjectId(0)),
+            out.placement.node_of(ObjectId(1))
+        );
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_one_candidate() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 1);
+        let o1 = b.add_object("b", 1);
+        b.add_pair(o0, o1, 1.0, 1.0).unwrap();
+        let p = b.uniform_capacities(2, 2).build().unwrap();
+        let f = frac(vec![0.5, 0.5, 0.5, 0.5], 2, 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        let out = round_best_of_within(
+            &f,
+            &p,
+            64,
+            1.0,
+            Some(std::time::Instant::now()),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.repetitions, 1);
+    }
+
+    #[test]
+    fn load_ratio_handles_zero_capacity_nodes() {
+        let mut b = CcaProblem::builder();
+        b.add_object("a", 5);
+        b.add_object("b", 5);
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        let dead = p.with_capacities(vec![10, 0]);
+        let on_live = Placement::new(vec![0, 0], 2);
+        let on_dead = Placement::new(vec![0, 1], 2);
+        assert!((max_load_ratio(&dead, &on_live) - 1.0).abs() < 1e-12);
+        assert!(max_load_ratio(&dead, &on_dead).is_infinite());
     }
 
     #[test]

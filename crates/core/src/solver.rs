@@ -6,7 +6,7 @@ use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
 use crate::random::random_hash_placement;
 use crate::relax::{solve_relaxation, RelaxOptions};
-use crate::rounding::round_best_of;
+use crate::rounding::round_best_of_within;
 use crate::scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
 use cca_rand::rngs::StdRng;
 use cca_rand::SeedableRng;
@@ -117,11 +117,12 @@ pub fn place(problem: &CcaProblem, strategy: &Strategy) -> Result<PlacementRepor
             let seed_placement = opts.seed_with_greedy.then(|| greedy_placement(problem));
             let outcome = solve_relaxation(problem, seed_placement.as_ref(), &opts.relax)?;
             let mut rng = StdRng::seed_from_u64(opts.rng_seed);
-            let rounded = round_best_of(
+            let rounded = round_best_of_within(
                 &outcome.fractional,
                 problem,
                 opts.repetitions,
                 opts.capacity_slack,
+                opts.relax.solver.deadline,
                 &mut rng,
             )?;
             let mut placement = rounded.placement;

@@ -367,6 +367,77 @@ fn exact_oracle_sandwich() {
         });
 }
 
+/// Input hardening: malformed instances are rejected as typed errors,
+/// never accepted and never panics.
+#[test]
+fn builder_rejects_malformed_instances() {
+    Checker::new("builder_rejects_malformed_instances")
+        .cases(100)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            // Zero-size object: poison one size.
+            let mut b = CcaProblem::builder();
+            for (i, &s) in r.sizes.iter().enumerate() {
+                b.add_object(format!("o{i}"), if i == 0 { 0 } else { u64::from(s.max(1)) });
+            }
+            let nodes = r.nodes.max(1);
+            prop_assert_eq!(
+                b.uniform_capacities(nodes, 100).build().unwrap_err(),
+                cca_core::ProblemError::ZeroSizeObject(ObjectId(0))
+            );
+
+            // All-zero capacities.
+            let mut b = CcaProblem::builder();
+            b.add_object("a", 1);
+            prop_assert_eq!(
+                b.uniform_capacities(nodes, 0).build().unwrap_err(),
+                cca_core::ProblemError::ZeroCapacity
+            );
+
+            // Non-finite and negative pair weights.
+            let mut b = CcaProblem::builder();
+            let a = b.add_object("a", 1);
+            let c = b.add_object("c", 1);
+            for (corr, cost) in [
+                (f64::NAN, 1.0),
+                (1.0, f64::NAN),
+                (-0.5, 1.0),
+                (1.0, -2.0),
+                (f64::INFINITY, 1.0),
+            ] {
+                prop_assert!(matches!(
+                    b.add_pair(a, c, corr, cost),
+                    Err(cca_core::ProblemError::InvalidNumber(_))
+                ));
+            }
+            Ok(())
+        });
+}
+
+/// The degradation ladder always answers: a complete placement that is
+/// audit-feasible or explicitly flagged, identically across repeat runs.
+#[test]
+fn resilient_solve_always_answers() {
+    Checker::new("resilient_solve_always_answers")
+        .cases(60)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            let opts = cca_core::ResilienceOptions::default();
+            let a = cca_core::solve_resilient(&p, &opts);
+            prop_assert_eq!(a.placement.num_objects(), p.num_objects());
+            prop_assert!(
+                a.audit.feasible() || a.report.degraded,
+                "unflagged infeasible result: {}",
+                a.report.summary()
+            );
+            let b = cca_core::solve_resilient(&p, &opts);
+            prop_assert_eq!(a.placement.as_slice(), b.placement.as_slice());
+            prop_assert_eq!(a.report.selected, b.report.selected);
+            Ok(())
+        });
+}
+
 /// Lemma 1 at the integration level: rounding the degenerate vertex places
 /// each correlation component wholly on one node with the row's
 /// probabilities.

@@ -83,6 +83,19 @@ pub enum LpError {
         /// Number of simplex iterations performed.
         iterations: u64,
     },
+    /// The wall-clock deadline ([`SolverOptions::deadline`]) passed before
+    /// convergence.
+    DeadlineExceeded {
+        /// Number of simplex iterations performed.
+        iterations: u64,
+    },
+    /// The objective made no progress for
+    /// [`SolverOptions::stall_iteration_limit`] consecutive iterations —
+    /// the numerical-health watchdog for cycling or crawling solves.
+    Stalled {
+        /// Number of simplex iterations performed.
+        iterations: u64,
+    },
     /// The solver encountered numerical trouble it could not recover from.
     Numerical(String),
     /// The model itself is malformed (e.g. non-finite coefficient).
@@ -96,6 +109,12 @@ impl fmt::Display for LpError {
             LpError::Unbounded => f.write_str("linear program is unbounded"),
             LpError::IterationLimit { iterations } => {
                 write!(f, "iteration limit reached after {iterations} iterations")
+            }
+            LpError::DeadlineExceeded { iterations } => {
+                write!(f, "deadline exceeded after {iterations} iterations")
+            }
+            LpError::Stalled { iterations } => {
+                write!(f, "objective stalled after {iterations} iterations")
             }
             LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
@@ -114,6 +133,19 @@ pub struct SolverOptions {
     pub refactor_every: usize,
     /// Switch to Bland's rule after this many consecutive degenerate pivots.
     pub bland_after_degenerate: usize,
+    /// Wall-clock deadline; checked periodically inside the pivot loop.
+    /// Past it the solve aborts with [`LpError::DeadlineExceeded`].
+    pub deadline: Option<std::time::Instant>,
+    /// Abort with [`LpError::Stalled`] after this many consecutive
+    /// iterations without objective progress. `0` disables the watchdog.
+    /// Set it well above `bland_after_degenerate` so the anti-cycling rule
+    /// gets a chance to break degeneracy first.
+    pub stall_iteration_limit: u64,
+    /// Fault injection for resilience tests: from this iteration on, the
+    /// first basic value is overwritten with NaN, which the health check
+    /// must catch. Ignored unless the crate is built with the `chaos`
+    /// feature.
+    pub chaos_poison_after: Option<u64>,
 }
 
 impl Default for SolverOptions {
@@ -122,6 +154,9 @@ impl Default for SolverOptions {
             max_iterations: 0,
             refactor_every: 64,
             bland_after_degenerate: 200,
+            deadline: None,
+            stall_iteration_limit: 0,
+            chaos_poison_after: None,
         }
     }
 }
@@ -411,6 +446,8 @@ mod tests {
             LpError::Infeasible,
             LpError::Unbounded,
             LpError::IterationLimit { iterations: 5 },
+            LpError::DeadlineExceeded { iterations: 5 },
+            LpError::Stalled { iterations: 5 },
             LpError::Numerical("x".into()),
             LpError::InvalidModel("y".into()),
         ] {

@@ -203,11 +203,56 @@ impl<'a> Simplex<'a> {
     /// Runs the simplex loop for cost vector `c`, with columns at index
     /// `>= barred_from` barred from entering.
     fn run_phase(&mut self, c: &[f64], barred_from: usize) -> Result<PhaseOutcome, LpError> {
+        let mut last_objective = f64::INFINITY;
+        let mut stalled_for: u64 = 0;
         loop {
             if self.opts.max_iterations > 0 && self.iterations >= self.opts.max_iterations {
                 return Err(LpError::IterationLimit {
                     iterations: self.iterations,
                 });
+            }
+            // Deadline watchdog, amortised over 16 pivots (the first check
+            // fires immediately, so a pre-expired deadline aborts before
+            // any work is done).
+            if let Some(deadline) = self.opts.deadline {
+                if self.iterations % 16 == 0 && std::time::Instant::now() >= deadline {
+                    return Err(LpError::DeadlineExceeded {
+                        iterations: self.iterations,
+                    });
+                }
+            }
+            #[cfg(feature = "chaos")]
+            if self
+                .opts
+                .chaos_poison_after
+                .is_some_and(|n| self.iterations >= n)
+                && !self.xb.is_empty()
+            {
+                self.xb[0] = f64::NAN;
+            }
+            // Numerical health: a NaN/Inf basic value would corrupt pricing
+            // silently (every comparison against NaN is false, so the loop
+            // would report a bogus optimum instead of failing).
+            if self.xb.iter().any(|v| !v.is_finite()) {
+                return Err(LpError::Numerical(
+                    "basic solution contains a non-finite value".into(),
+                ));
+            }
+            if self.opts.stall_iteration_limit > 0 {
+                let obj = self.objective(c);
+                if last_objective.is_finite()
+                    && (obj - last_objective).abs() <= tol::FEAS * (1.0 + last_objective.abs())
+                {
+                    stalled_for += 1;
+                    if stalled_for >= self.opts.stall_iteration_limit {
+                        return Err(LpError::Stalled {
+                            iterations: self.iterations,
+                        });
+                    }
+                } else {
+                    stalled_for = 0;
+                }
+                last_objective = obj;
             }
             let bland = self.degenerate_streak > self.opts.bland_after_degenerate;
             let y = self.multipliers(c);
@@ -488,6 +533,51 @@ mod tests {
             res,
             Err(crate::LpError::IterationLimit { .. }) | Ok(_)
         ));
+    }
+
+    #[test]
+    fn pre_expired_deadline_aborts_immediately() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint_with("r", Relation::Ge, 3.0, [(x, 1.0), (y, 1.0)]);
+        let res = m.solve(&SolverOptions {
+            deadline: Some(std::time::Instant::now()),
+            ..SolverOptions::default()
+        });
+        assert!(matches!(res, Err(crate::LpError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_disturb_the_solve() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 4.0);
+        let y = m.add_var("y", 3.0);
+        m.add_constraint_with("r1", Relation::Ge, 10.0, [(x, 2.0), (y, 1.0)]);
+        m.add_constraint_with("r2", Relation::Ge, 8.0, [(x, 1.0), (y, 3.0)]);
+        let plain = m.solve(&SolverOptions::default()).unwrap();
+        let timed = m
+            .solve(&SolverOptions {
+                deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(600)),
+                stall_iteration_limit: 100_000,
+                ..SolverOptions::default()
+            })
+            .unwrap();
+        assert!(approx_eq(plain.objective, timed.objective, 1e-9));
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_poison_triggers_the_health_alarm() {
+        let mut m = Model::minimize();
+        let x = m.add_var("x", 1.0);
+        let y = m.add_var("y", 2.0);
+        m.add_constraint_with("r", Relation::Ge, 3.0, [(x, 1.0), (y, 1.0)]);
+        let res = m.solve(&SolverOptions {
+            chaos_poison_after: Some(0),
+            ..SolverOptions::default()
+        });
+        assert!(matches!(res, Err(crate::LpError::Numerical(_))), "{res:?}");
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! cca place [--strategy random|greedy|lprr] [--nodes N] [--scope N] ...
 //!     compute one placement and print per-node loads
 //!
+//! cca place --deadline-ms N [--min-strategy S] ...
+//!     resilient placement through the degradation ladder: try the
+//!     requested strategy within the wall-clock budget, fall back towards
+//!     hash placement, and print the degradation report
+//!
 //! cca export-lp [--scope N] [--out FILE] ...
 //!     write the scoped Figure-4 LP in CPLEX LP format (for external
 //!     solvers such as the LPsolve the paper used)
@@ -22,12 +27,21 @@
 //! `place --out FILE` saves the computed placement; `workload --out FILE`
 //! dumps the query log in the v1 text format.
 //!
+//! Exit codes: `0` success; `1` usage or I/O error; `2` a placement was
+//! produced but degraded (a worse rung than requested was selected, or
+//! capacities had to be repaired); `3` the placement is infeasible
+//! (capacity violations remain).
+//!
 //! Argument parsing is deliberately dependency-free.
 
-use cca::algo::{figure4::Figure4Lp, importance_ranking, scope_subproblem, Strategy};
+use cca::algo::{
+    figure4::Figure4Lp, importance_ranking, scope_subproblem, ResilienceOptions, Rung,
+    SolveBudget, Strategy,
+};
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -36,6 +50,8 @@ struct Args {
     nodes: usize,
     scope: Option<usize>,
     strategy: String,
+    deadline_ms: Option<u64>,
+    min_strategy: Option<String>,
     out: Option<String>,
     placement: Option<String>,
 }
@@ -48,6 +64,8 @@ impl Default for Args {
             nodes: 10,
             scope: Some(400),
             strategy: "lprr".into(),
+            deadline_ms: None,
+            min_strategy: None,
             out: None,
             placement: None,
         }
@@ -62,8 +80,13 @@ fn usage() -> &'static str {
        --nodes N              cluster size (default 10)\n\
        --scope N              optimization scope; 'full' for all objects (default 400)\n\
        --strategy S           random|greedy|lprr (place only; default lprr)\n\
+       --deadline-ms N        wall-clock budget; enables the resilient\n\
+                              degradation ladder (place only)\n\
+       --min-strategy S       worst rung the ladder may select:\n\
+                              lprr|partial-lprr|greedy|hash (place only)\n\
        --out FILE             output path (place/workload/export-lp)\n\
-       --placement FILE       saved placement to replay (replay only)"
+       --placement FILE       saved placement to replay (replay only)\n\
+     exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -88,6 +111,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
             }
             "--strategy" => args.strategy = value()?,
+            "--deadline-ms" => {
+                args.deadline_ms =
+                    Some(value()?.parse().map_err(|e| format!("--deadline-ms: {e}"))?);
+            }
+            "--min-strategy" => args.min_strategy = Some(value()?),
             "--out" => args.out = Some(value()?),
             "--placement" => args.placement = Some(value()?),
             other => return Err(format!("unknown option {other}")),
@@ -177,7 +205,31 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_place(args: &Args) -> Result<(), String> {
+fn print_loads(problem: &cca::algo::CcaProblem, placement: &cca::algo::Placement) {
+    let loads = placement.loads(problem);
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    println!("per-node loads (bytes; mean {mean:.0}):");
+    for (k, load) in loads.iter().enumerate() {
+        println!("  node {k:>3}: {load:>12} ({:.2}x mean)", *load as f64 / mean);
+    }
+}
+
+fn save_placement(
+    path: &str,
+    problem: &cca::algo::CcaProblem,
+    placement: &cca::algo::Placement,
+) -> Result<(), String> {
+    let mut file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    cca::algo::write_placement(&mut file, problem, placement)
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote placement to {path}");
+    Ok(())
+}
+
+fn cmd_place(args: &Args) -> Result<ExitCode, String> {
+    if args.deadline_ms.is_some() || args.min_strategy.is_some() {
+        return cmd_place_resilient(args);
+    }
     let p = build_pipeline(args)?;
     let s = strategy(&args.strategy)?;
     let report = p.place(&s, args.scope).map_err(|e| e.to_string())?;
@@ -185,20 +237,58 @@ fn cmd_place(args: &Args) -> Result<(), String> {
     println!("model cost: {:.2}", report.cost);
     let audit = cca::algo::audit_placement(&p.problem, &report.placement, 5);
     print!("{}", audit.report());
-    let loads = report.placement.loads(&p.problem);
-    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
-    println!("per-node loads (bytes; mean {mean:.0}):");
-    for (k, load) in loads.iter().enumerate() {
-        println!("  node {k:>3}: {load:>12} ({:.2}x mean)", *load as f64 / mean);
-    }
+    print_loads(&p.problem, &report.placement);
     if let Some(path) = &args.out {
-        let mut file =
-            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
-        cca::algo::write_placement(&mut file, &p.problem, &report.placement)
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote placement to {path}");
+        save_placement(path, &p.problem, &report.placement)?;
     }
-    Ok(())
+    Ok(if audit.feasible() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
+fn cmd_place_resilient(args: &Args) -> Result<ExitCode, String> {
+    let start = Rung::parse(&args.strategy)
+        .ok_or_else(|| format!("unknown strategy {} (lprr|partial-lprr|greedy|hash)", args.strategy))?;
+    let floor = match &args.min_strategy {
+        None => Rung::Hash,
+        Some(s) => Rung::parse(s)
+            .ok_or_else(|| format!("unknown min-strategy {s} (lprr|partial-lprr|greedy|hash)"))?,
+    };
+    if floor < start {
+        return Err(format!(
+            "--min-strategy {floor} is a better rung than --strategy {start}; \
+             the floor must be the same rung or a worse one"
+        ));
+    }
+    let p = build_pipeline(args)?;
+    let options = ResilienceOptions {
+        budget: SolveBudget {
+            deadline: args.deadline_ms.map(Duration::from_millis),
+            ..SolveBudget::default()
+        },
+        start,
+        floor,
+        partial_scope: args.scope,
+        ..ResilienceOptions::default()
+    };
+    let r = p.place_resilient(&options);
+    println!("strategy:   {} (resilient)", r.report.selected);
+    println!("model cost: {:.2}", r.cost);
+    print!("{}", r.report.summary());
+    print!("{}", r.audit.report());
+    print_loads(&r.effective_problem, &r.placement);
+    if let Some(path) = &args.out {
+        save_placement(path, &r.effective_problem, &r.placement)?;
+    }
+    Ok(if !r.audit.feasible() {
+        ExitCode::from(3)
+    } else if r.report.degraded {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
@@ -261,19 +351,19 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
-        "workload" => cmd_workload(&args),
-        "evaluate" => cmd_evaluate(&args),
+        "workload" => cmd_workload(&args).map(|()| ExitCode::SUCCESS),
+        "evaluate" => cmd_evaluate(&args).map(|()| ExitCode::SUCCESS),
         "place" => cmd_place(&args),
-        "replay" => cmd_replay(&args),
-        "export-lp" => cmd_export_lp(&args),
+        "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
+        "export-lp" => cmd_export_lp(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other}\n{}", usage())),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

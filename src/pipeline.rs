@@ -195,6 +195,18 @@ impl Pipeline {
         }
     }
 
+    /// Computes a placement through the degradation ladder of
+    /// [`cca_core::resilience`]: always returns a placement, degrading
+    /// from LPRR towards hash placement under deadlines or failures, with
+    /// a structured report of what happened.
+    #[must_use]
+    pub fn place_resilient(
+        &self,
+        options: &cca_core::ResilienceOptions,
+    ) -> cca_core::ResilientPlacement {
+        cca_core::solve_resilient(&self.problem, options)
+    }
+
     /// Materialises a placement as a cluster (word-level lookup table).
     #[must_use]
     pub fn cluster_for(&self, placement: &Placement) -> Cluster {

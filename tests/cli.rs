@@ -15,6 +15,17 @@ fn run(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+/// Like [`run`], but returns the numeric exit code (the resilient `place`
+/// path uses 0 = ok, 2 = degraded, 3 = infeasible).
+fn run_code(args: &[&str]) -> (i32, String, String) {
+    let output = cca().args(args).output().expect("binary runs");
+    (
+        output.status.code().expect("no signal"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
 #[test]
 fn help_prints_usage() {
     let (ok, stdout, _) = run(&["help"]);
@@ -94,6 +105,43 @@ fn place_save_then_replay_round_trips() {
     assert!(stdout.contains("vs random:"));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resilient_place_with_generous_deadline_succeeds() {
+    let (code, stdout, stderr) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "60000",
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("degradation ladder"));
+    assert!(stdout.contains("selected: lprr"));
+    assert!(stdout.contains("per-node loads"));
+}
+
+#[test]
+fn resilient_place_with_zero_deadline_degrades_to_hash() {
+    let (code, stdout, _) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "0",
+    ]);
+    assert_eq!(code, 2, "stdout: {stdout}");
+    assert!(stdout.contains("selected: hash (degraded)"));
+    assert!(stdout.contains("deadline exceeded"));
+}
+
+#[test]
+fn resilient_place_validates_rung_names() {
+    let (code, _, stderr) = run_code(&[
+        "place", "--preset", "tiny", "--min-strategy", "telepathy",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("unknown min-strategy"));
+
+    // A floor better than the start strategy is rejected.
+    let (code, _, stderr) = run_code(&[
+        "place", "--preset", "tiny", "--strategy", "greedy", "--min-strategy", "lprr",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("better rung"));
 }
 
 #[test]
