@@ -20,8 +20,6 @@ use cca::algo::{
 use cca::pipeline::{CorrelationMode, Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
 use cca_bench::{header, quick_mode, ratio, BENCH_SEED};
-use cca_rand::rngs::StdRng;
-use cca_rand::SeedableRng;
 
 fn trace() -> TraceConfig {
     if quick_mode() {
@@ -148,8 +146,8 @@ fn main() {
         )
         .expect("relaxation");
         for sweeps in [0usize, 2, 8] {
-            let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-            let rounded = round_best_of(&relax.fractional, &sub, 16, 1.05, &mut rng).expect("rounding");
+            let rounded =
+                round_best_of(&relax.fractional, &sub, 16, 1.05, BENCH_SEED).expect("rounding");
             let mut placement = rounded.placement;
             let outcome = repair_capacity_with(&sub, &mut placement, 1.05, sweeps);
             let full = compose_with_hashed_rest(&pipeline.problem, &keep, &placement);

@@ -2,6 +2,22 @@ use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
 use cca_core::*;
 fn main() {
+    // `--threads N` fans the rounding repetitions out over N workers
+    // (default: all cores; the placements are identical for any N).
+    let mut argv = std::env::args().skip(1);
+    let mut threads = cca_par::available_parallelism();
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--threads" => {
+                threads = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown option {other} (probe takes only --threads N)"),
+        }
+    }
     let mut cfg = PipelineConfig::new(TraceConfig::paper_scaled(), 10);
     cfg.seed = 1;
     let p = Pipeline::build(&cfg);
@@ -20,6 +36,6 @@ fn main() {
     let all_one = Placement::new(assignment, 10);
     println!("all-on-one-node: {:.4}", p.replay(&all_one).total_bytes as f64 / base as f64);
     // full-scope lprr (scope=all 25000)
-    let full = p.evaluate(&Strategy::lprr(), None).unwrap();
+    let full = p.evaluate(&Strategy::lprr_threads(threads), None).unwrap();
     println!("lprr full scope: {:.4} imb {:.2}", full.replay.total_bytes as f64 / base as f64, full.imbalance);
 }

@@ -100,6 +100,6 @@ pub use resilience::{
 };
 pub use resources::{Resource, ResourceError};
 pub use error::{CcaError, PlaceError};
-pub use rounding::{round_best_of, round_best_of_within, round_once, RoundingOutcome};
+pub use rounding::{round_best_of, round_best_of_within, round_once, round_samples, RoundingOutcome};
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
 pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

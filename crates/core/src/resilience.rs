@@ -37,6 +37,7 @@ use crate::random::random_hash_placement;
 use crate::relax::RelaxMethod;
 use crate::repair::repair_capacity;
 use crate::solver::{place, place_partial_with, LprrOptions, Strategy};
+use cca_par::{par_map_indexed, DeadlineGate};
 use cca_rand::rngs::StdRng;
 use cca_rand::{Rng, SeedableRng};
 
@@ -308,6 +309,13 @@ pub struct ResilienceOptions {
     pub partial_scope: Option<usize>,
     /// How many heaviest split pairs the final audit keeps.
     pub audit_top: usize,
+    /// Worker threads for the solve. With `threads > 1` the ladder rungs
+    /// in the permitted window are *attempted* concurrently (each rung is
+    /// independent) and the rounding repetitions inside the LP rungs fan
+    /// out too; the selection still walks the attempts in ladder order, so
+    /// the chosen placement is identical to the serial walk whenever the
+    /// deadline does not fire mid-solve.
+    pub threads: usize,
 }
 
 impl Default for ResilienceOptions {
@@ -319,6 +327,7 @@ impl Default for ResilienceOptions {
             floor: Rung::Hash,
             partial_scope: None,
             audit_top: 5,
+            threads: 1,
         }
     }
 }
@@ -370,6 +379,7 @@ pub fn solve_resilient_with_faults(
         lprr.repetitions = options.budget.max_rounding_repetitions;
     }
     lprr.rng_seed = lprr.rng_seed.wrapping_add(faults.seed);
+    lprr.threads = options.threads.max(lprr.threads);
     if faults.exhaust_lp_iterations {
         lprr.relax.method = RelaxMethod::CuttingPlane;
         lprr.relax.solver.max_iterations = 1;
@@ -394,10 +404,33 @@ pub fn solve_resilient_with_faults(
     // Best candidate so far: feasible beats infeasible, then lower cost.
     let mut best: Option<(Rung, Placement, f64, bool)> = None;
 
-    for rung in LADDER {
-        if rung < options.start || rung > floor {
-            continue;
-        }
+    let window: Vec<Rung> = LADDER
+        .into_iter()
+        .filter(|&r| r >= options.start && r <= floor)
+        .collect();
+
+    // With threads > 1, attempt every rung in the window concurrently
+    // (each rung is an independent computation); serially, compute each
+    // attempt lazily at its turn. Either way the results are consumed in
+    // ladder order below, so the selection logic — and, deadline timing
+    // aside, the selected placement — does not depend on the thread count.
+    let computed: Vec<(bool, Option<Attempt>)> = if options.threads > 1 {
+        let gate = DeadlineGate::new(deadline);
+        par_map_indexed(options.threads, window.len(), |i| {
+            let expired = gate.expired();
+            // Hash is O(t) and guarantees an answer; everything else is
+            // skipped once the budget is gone.
+            if expired && window[i] != Rung::Hash {
+                return (true, None);
+            }
+            (expired, Some(attempt_rung(problem, window[i], &lprr, scope)))
+        })
+    } else {
+        Vec::new()
+    };
+
+    for (i, &rung) in window.iter().enumerate() {
+        let serial_slot;
         if let Some((_, _, _, true)) = best {
             attempts.push(RungAttempt {
                 rung,
@@ -407,12 +440,13 @@ pub fn solve_resilient_with_faults(
             });
             continue;
         }
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
+        let attempt = if options.threads > 1 {
+            let (expired, attempt) = &computed[i];
+            if *expired {
                 deadline_exceeded = true;
-                // Hash is O(t) and guarantees an answer; everything else
-                // is skipped once the budget is gone.
-                if rung != Rung::Hash {
+            }
+            match attempt {
+                None => {
                     attempts.push(RungAttempt {
                         rung,
                         outcome: RungOutcome::Skipped("deadline exceeded".into()),
@@ -421,9 +455,26 @@ pub fn solve_resilient_with_faults(
                     });
                     continue;
                 }
+                Some(a) => a,
             }
-        }
-        let attempt = attempt_rung(problem, rung, &lprr, scope);
+        } else {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    deadline_exceeded = true;
+                    if rung != Rung::Hash {
+                        attempts.push(RungAttempt {
+                            rung,
+                            outcome: RungOutcome::Skipped("deadline exceeded".into()),
+                            elapsed: Duration::ZERO,
+                            cost: None,
+                        });
+                        continue;
+                    }
+                }
+            }
+            serial_slot = attempt_rung(problem, rung, &lprr, scope);
+            &serial_slot
+        };
         if let Ok(p) = &attempt.result {
             let cost = p.communication_cost(problem);
             let feasible = p.within_all_capacities(problem, 1.0);
@@ -729,6 +780,33 @@ mod tests {
         assert_eq!(a.placement.as_slice(), b.placement.as_slice());
         assert_eq!(a.report.selected, b.report.selected);
         assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn parallel_rungs_select_the_same_placement() {
+        let p = clustered(4, 3, 3);
+        let serial = solve_resilient(&p, &ResilienceOptions::default());
+        for threads in [2, 8] {
+            let opts = ResilienceOptions {
+                threads,
+                ..ResilienceOptions::default()
+            };
+            let par = solve_resilient(&p, &opts);
+            assert_eq!(
+                par.placement.as_slice(),
+                serial.placement.as_slice(),
+                "threads = {threads}"
+            );
+            assert_eq!(par.report.selected, serial.report.selected);
+            assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+            // Attempt ledger keeps the serial shape: later rungs are
+            // recorded as skipped once a better rung is feasible.
+            assert_eq!(par.report.attempts.len(), serial.report.attempts.len());
+            for (a, b) in par.report.attempts.iter().zip(&serial.report.attempts) {
+                assert_eq!(a.rung, b.rung);
+                assert_eq!(a.outcome.label(), b.outcome.label());
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,8 @@ use crate::error::CcaError;
 use crate::fractional::FractionalPlacement;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
-use cca_rand::Rng;
+use cca_par::{par_map_indexed, DeadlineGate};
+use cca_rand::{Rng, StreamFamily};
 
 /// Safety cap on rounding steps; with valid stochastic rows the loop
 /// terminates long before this (each step places an object with probability
@@ -40,6 +41,15 @@ pub fn round_once<R: Rng + ?Sized>(
     if !fractional.is_stochastic(1e-6) {
         return Err(CcaError::NotStochastic);
     }
+    round_unchecked(fractional, rng)
+}
+
+/// [`round_once`] minus the row-stochastic check, for the repetition loops
+/// that validate the matrix once up front instead of once per repetition.
+fn round_unchecked<R: Rng + ?Sized>(
+    fractional: &FractionalPlacement,
+    rng: &mut R,
+) -> Result<Placement, CcaError> {
     let t = fractional.num_objects();
     let n = fractional.num_nodes();
     let mut assignment = vec![u32::MAX; t];
@@ -125,32 +135,54 @@ pub(crate) fn max_load_ratio(problem: &CcaProblem, placement: &Placement) -> f64
 /// by cost) wins, so even an all-infeasible run hands back the most
 /// repairable placement instead of an arbitrary one.
 ///
+/// Repetition `i` always draws from substream `i` of `seed` (via
+/// [`StreamFamily`]) and candidates are compared in repetition order, so
+/// the selected placement is **byte-identical for every `threads` value**
+/// — `threads = 1` runs inline with no pool at all.
+///
 /// # Errors
 ///
 /// [`CcaError::NoRepetitions`] if `repetitions == 0`,
 /// [`CcaError::DimensionMismatch`] if the placement/problem dimensions
 /// disagree, plus anything [`round_once`] reports.
-pub fn round_best_of<R: Rng + ?Sized>(
+pub fn round_best_of(
     fractional: &FractionalPlacement,
     problem: &CcaProblem,
     repetitions: usize,
     capacity_slack: f64,
-    rng: &mut R,
+    seed: u64,
 ) -> Result<RoundingOutcome, CcaError> {
-    round_best_of_within(fractional, problem, repetitions, capacity_slack, None, rng)
+    round_best_of_within(
+        fractional,
+        problem,
+        repetitions,
+        capacity_slack,
+        None,
+        seed,
+        1,
+    )
 }
 
-/// Deadline-aware [`round_best_of`]: once at least one candidate exists,
-/// the repetition loop stops early when `deadline` has passed, and
-/// [`RoundingOutcome::repetitions`] records how many runs actually
-/// happened. `None` behaves exactly like [`round_best_of`].
-pub fn round_best_of_within<R: Rng + ?Sized>(
+/// Deadline-aware, parallel [`round_best_of`]: repetitions run across up to
+/// `threads` workers, each drawing from its own per-repetition substream of
+/// `seed`. A shared [`DeadlineGate`] is checked between *individual*
+/// repetitions on every worker (repetition 0 is exempt, so at least one
+/// candidate always exists), and [`RoundingOutcome::repetitions`] records
+/// how many runs actually happened. `deadline = None` behaves exactly like
+/// [`round_best_of`] plus the fan-out.
+///
+/// Determinism: when the deadline does not fire, the result is
+/// byte-identical for every `threads` value, because repetition `i`'s
+/// randomness depends only on `(seed, i)` and ties are broken by
+/// repetition index — never by completion order.
+pub fn round_best_of_within(
     fractional: &FractionalPlacement,
     problem: &CcaProblem,
     repetitions: usize,
     capacity_slack: f64,
     deadline: Option<std::time::Instant>,
-    rng: &mut R,
+    seed: u64,
+    threads: usize,
 ) -> Result<RoundingOutcome, CcaError> {
     if repetitions == 0 {
         return Err(CcaError::NoRepetitions);
@@ -169,17 +201,28 @@ pub fn round_best_of_within<R: Rng + ?Sized>(
             actual: fractional.num_nodes(),
         });
     }
+    if !fractional.is_stochastic(1e-6) {
+        return Err(CcaError::NotStochastic);
+    }
+    let family = StreamFamily::new(seed);
+    let gate = DeadlineGate::new(deadline);
+    let candidates: Vec<Option<Result<Placement, CcaError>>> =
+        par_map_indexed(threads, repetitions, |i| {
+            // The deadline fires between individual repetitions on every
+            // worker; repetition 0 is exempt so a candidate always exists.
+            if i > 0 && gate.expired() {
+                return None;
+            }
+            let mut rng = family.stream(i as u64);
+            Some(round_unchecked(fractional, &mut rng))
+        });
     let mut best: Option<(bool, f64, f64, Placement)> = None;
     let mut performed = 0usize;
-    for _ in 0..repetitions {
-        if best.is_some() {
-            if let Some(deadline) = deadline {
-                if std::time::Instant::now() >= deadline {
-                    break;
-                }
-            }
-        }
-        let p = round_once(fractional, rng)?;
+    // Reduce strictly in repetition-index order: with a fixed seed the
+    // selection below is a pure function of the candidate list, so thread
+    // scheduling cannot influence which placement wins.
+    for candidate in candidates.into_iter().flatten() {
+        let p = candidate?;
         performed += 1;
         let cost = p.communication_cost(problem);
         let feasible = p.within_all_capacities(problem, capacity_slack);
@@ -199,7 +242,7 @@ pub fn round_best_of_within<R: Rng + ?Sized>(
             best = Some((feasible, cost, ratio, p));
         }
     }
-    let (within_capacity, cost, max_load_ratio, placement) = best.expect("repetitions > 0");
+    let (within_capacity, cost, max_load_ratio, placement) = best.expect("repetition 0 runs");
     Ok(RoundingOutcome {
         placement,
         cost,
@@ -207,6 +250,35 @@ pub fn round_best_of_within<R: Rng + ?Sized>(
         repetitions: performed,
         max_load_ratio,
     })
+}
+
+/// Draws `repetitions` independent Algorithm 2.1 samples, one per
+/// substream of `seed`, across up to `threads` workers. Sample `i` is a
+/// pure function of `(fractional, seed, i)`, so the returned vector is
+/// identical for every `threads` value — this is the statistical raw
+/// material for the Lemma 1 / Lemma 2 test batteries, which need the *full*
+/// sample rather than the best-of selection.
+///
+/// # Errors
+///
+/// [`CcaError::NotStochastic`] / [`CcaError::RoundingDiverged`] as for
+/// [`round_once`].
+pub fn round_samples(
+    fractional: &FractionalPlacement,
+    repetitions: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<Placement>, CcaError> {
+    if !fractional.is_stochastic(1e-6) {
+        return Err(CcaError::NotStochastic);
+    }
+    let family = StreamFamily::new(seed);
+    par_map_indexed(threads, repetitions, |i| {
+        let mut rng = family.stream(i as u64);
+        round_unchecked(fractional, &mut rng)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -367,8 +439,7 @@ mod tests {
         // select the feasible split even though the infeasible outcome has
         // cost 0.
         let f = frac(vec![0.9, 0.1, 0.1, 0.9], 2, 2);
-        let mut rng = StdRng::seed_from_u64(6);
-        let out = round_best_of(&f, &p, 64, 1.0, &mut rng).unwrap();
+        let out = round_best_of(&f, &p, 64, 1.0, 6).unwrap();
         // Split probability is z = 0.8 per draw, so 64 tries find one.
         assert!(out.within_capacity);
         assert!((out.cost - 5.0).abs() < 1e-12);
@@ -387,8 +458,7 @@ mod tests {
         // 10/10 (ratio 1.0, cost 5). The least-overloaded rule must pick
         // the split despite its higher cost.
         let f = frac(vec![0.9, 0.1, 0.1, 0.9], 2, 2);
-        let mut rng = StdRng::seed_from_u64(6);
-        let out = round_best_of(&f, &p, 64, 0.0, &mut rng).unwrap();
+        let out = round_best_of(&f, &p, 64, 0.0, 6).unwrap();
         assert!(!out.within_capacity);
         assert!((out.max_load_ratio - 1.0).abs() < 1e-12);
         assert!((out.cost - 5.0).abs() < 1e-12);
@@ -406,17 +476,54 @@ mod tests {
         b.add_pair(o0, o1, 1.0, 1.0).unwrap();
         let p = b.uniform_capacities(2, 2).build().unwrap();
         let f = frac(vec![0.5, 0.5, 0.5, 0.5], 2, 2);
-        let mut rng = StdRng::seed_from_u64(10);
-        let out = round_best_of_within(
-            &f,
-            &p,
-            64,
-            1.0,
-            Some(std::time::Instant::now()),
-            &mut rng,
-        )
-        .unwrap();
-        assert_eq!(out.repetitions, 1);
+        for threads in [1, 4] {
+            let out = round_best_of_within(
+                &f,
+                &p,
+                64,
+                1.0,
+                Some(std::time::Instant::now()),
+                10,
+                threads,
+            )
+            .unwrap();
+            // The gate fires between individual repetitions on every
+            // worker; only the exempt repetition 0 runs.
+            assert_eq!(out.repetitions, 1, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn best_of_is_thread_count_invariant() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 10);
+        let o1 = b.add_object("b", 10);
+        b.add_pair(o0, o1, 1.0, 5.0).unwrap();
+        let p = b.uniform_capacities(2, 10).build().unwrap();
+        let f = frac(vec![0.9, 0.1, 0.1, 0.9], 2, 2);
+        let serial = round_best_of_within(&f, &p, 48, 1.0, None, 0x5eed, 1).unwrap();
+        for threads in [2, 8] {
+            let par = round_best_of_within(&f, &p, 48, 1.0, None, 0x5eed, threads).unwrap();
+            assert_eq!(
+                par.placement.as_slice(),
+                serial.placement.as_slice(),
+                "threads = {threads}"
+            );
+            assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+            assert_eq!(par.max_load_ratio.to_bits(), serial.max_load_ratio.to_bits());
+            assert_eq!(par.repetitions, serial.repetitions);
+            assert_eq!(par.within_capacity, serial.within_capacity);
+        }
+    }
+
+    #[test]
+    fn samples_are_thread_count_invariant() {
+        let f = frac(vec![0.7, 0.3, 0.3, 0.7], 2, 2);
+        let serial = round_samples(&f, 100, 42, 1).unwrap();
+        for threads in [2, 8] {
+            let par = round_samples(&f, 100, 42, threads).unwrap();
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -445,9 +552,8 @@ mod tests {
         b.add_object("a", 1);
         let p = b.uniform_capacities(1, 1).build().unwrap();
         let f = frac(vec![1.0], 1, 1);
-        let mut rng = StdRng::seed_from_u64(8);
         assert!(matches!(
-            round_best_of(&f, &p, 0, 1.0, &mut rng),
+            round_best_of(&f, &p, 0, 1.0, 8),
             Err(CcaError::NoRepetitions)
         ));
     }
@@ -460,9 +566,8 @@ mod tests {
         let p = b.uniform_capacities(2, 10).build().unwrap();
         // One object where the problem has two.
         let f = frac(vec![0.5, 0.5], 1, 2);
-        let mut rng = StdRng::seed_from_u64(9);
         assert!(matches!(
-            round_best_of(&f, &p, 4, 1.0, &mut rng),
+            round_best_of(&f, &p, 4, 1.0, 9),
             Err(CcaError::DimensionMismatch {
                 what: "object count",
                 expected: 2,

@@ -8,8 +8,6 @@ use crate::random::random_hash_placement;
 use crate::relax::{solve_relaxation, RelaxOptions};
 use crate::rounding::round_best_of_within;
 use crate::scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
-use cca_rand::rngs::StdRng;
-use cca_rand::SeedableRng;
 
 /// Options for the LPRR (linear programming with randomized rounding)
 /// strategy.
@@ -32,6 +30,11 @@ pub struct LprrOptions {
     pub repair: bool,
     /// RNG seed for the rounding (placements are deterministic per seed).
     pub rng_seed: u64,
+    /// Worker threads for the rounding repetitions. Results are
+    /// byte-identical for every value (repetition `i` draws from substream
+    /// `i` of `rng_seed` and ties break by repetition index); `1` runs
+    /// inline with no pool.
+    pub threads: usize,
 }
 
 impl Default for LprrOptions {
@@ -43,6 +46,7 @@ impl Default for LprrOptions {
             seed_with_greedy: true,
             repair: true,
             rng_seed: 0x5eed,
+            threads: 1,
         }
     }
 }
@@ -66,6 +70,17 @@ impl Strategy {
     #[must_use]
     pub fn lprr() -> Self {
         Strategy::Lprr(LprrOptions::default())
+    }
+
+    /// The paper's LPRR with rounding repetitions spread over `threads`
+    /// workers (same placements as [`Strategy::lprr`] — the thread count
+    /// never changes the result).
+    #[must_use]
+    pub fn lprr_threads(threads: usize) -> Self {
+        Strategy::Lprr(LprrOptions {
+            threads,
+            ..LprrOptions::default()
+        })
     }
 
     /// Short human-readable name (matches the paper's figure legends).
@@ -116,14 +131,14 @@ pub fn place(problem: &CcaProblem, strategy: &Strategy) -> Result<PlacementRepor
         Strategy::Lprr(opts) => {
             let seed_placement = opts.seed_with_greedy.then(|| greedy_placement(problem));
             let outcome = solve_relaxation(problem, seed_placement.as_ref(), &opts.relax)?;
-            let mut rng = StdRng::seed_from_u64(opts.rng_seed);
             let rounded = round_best_of_within(
                 &outcome.fractional,
                 problem,
                 opts.repetitions,
                 opts.capacity_slack,
                 opts.relax.solver.deadline,
-                &mut rng,
+                opts.rng_seed,
+                opts.threads,
             )?;
             let mut placement = rounded.placement;
             if opts.repair && !rounded.within_capacity {
@@ -292,6 +307,17 @@ mod tests {
         // Different seed may produce a different placement (not asserted),
         // but must still be complete and near-feasible.
         assert_eq!(c.placement.num_objects(), p.num_objects());
+    }
+
+    #[test]
+    fn lprr_thread_count_never_changes_the_placement() {
+        let p = clustered_problem(4, 3, 3);
+        let serial = place(&p, &Strategy::lprr()).unwrap();
+        for threads in [2, 8] {
+            let par = place(&p, &Strategy::lprr_threads(threads)).unwrap();
+            assert_eq!(par.placement, serial.placement, "threads = {threads}");
+            assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+        }
     }
 
     #[test]

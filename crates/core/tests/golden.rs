@@ -33,6 +33,7 @@ fn lprr_pipeline_cost_is_pinned() {
         seed_with_greedy: true,
         repair: true,
         rng_seed: 20080617,
+        threads: 1,
     };
     let report = place(&problem, &Strategy::Lprr(opts)).expect("lprr");
 

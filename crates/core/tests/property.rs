@@ -5,8 +5,9 @@ use cca_check::{gen, prop_assert, prop_assert_eq, prop_assert_ne, Checker, Rng, 
 use cca_core::Strategy as PlacementStrategy;
 use cca_core::{
     capacity_bounded_clusters, construct_clustered_vertex, construct_optimal_vertex,
-    exact_placement, greedy_placement, place, random_hash_placement, repair_capacity, round_once,
-    CcaProblem, ExactOptions, ObjectId, Placement,
+    exact_placement, greedy_placement, place, random_hash_placement, repair_capacity,
+    round_best_of_within, round_once, round_samples, CcaProblem, ExactOptions, LprrOptions,
+    ObjectId, Placement,
 };
 use cca_rand::SeedableRng;
 
@@ -434,6 +435,118 @@ fn resilient_solve_always_answers() {
             let b = cca_core::solve_resilient(&p, &opts);
             prop_assert_eq!(a.placement.as_slice(), b.placement.as_slice());
             prop_assert_eq!(a.report.selected, b.report.selected);
+            Ok(())
+        });
+}
+
+/// Thread-count invariance of the rounding fan-out: for any instance and
+/// seed, `round_best_of_within` selects a byte-identical outcome at 1, 2,
+/// and 8 threads, and `round_samples` returns the identical sample vector —
+/// repetition `i` depends only on `(seed, i)`, never on scheduling.
+#[test]
+fn rounding_is_thread_count_invariant() {
+    Checker::new("rounding_is_thread_count_invariant")
+        .cases(60)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (random_cca(rng), rng.random::<u64>()),
+            |(r, seed)| {
+                let p = build(r);
+                let vertex = construct_clustered_vertex(&p).expect("aggregate capacity suffices");
+                let serial =
+                    round_best_of_within(&vertex.fractional, &p, 24, 1.05, None, *seed, 1)
+                        .expect("stochastic vertex rounds");
+                let serial_samples =
+                    round_samples(&vertex.fractional, 24, *seed, 1).expect("samples");
+                for threads in [2usize, 8] {
+                    let par =
+                        round_best_of_within(&vertex.fractional, &p, 24, 1.05, None, *seed, threads)
+                            .expect("stochastic vertex rounds");
+                    prop_assert_eq!(par.placement.as_slice(), serial.placement.as_slice());
+                    prop_assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+                    prop_assert_eq!(par.max_load_ratio.to_bits(), serial.max_load_ratio.to_bits());
+                    prop_assert_eq!(par.repetitions, serial.repetitions);
+                    prop_assert_eq!(par.within_capacity, serial.within_capacity);
+                    let par_samples =
+                        round_samples(&vertex.fractional, 24, *seed, threads).expect("samples");
+                    prop_assert_eq!(&par_samples, &serial_samples);
+                }
+                Ok(())
+            },
+        );
+}
+
+/// Thread-count invariance end to end: the full LPRR solve returns the
+/// same placement and bit-identical cost for 1, 2, and 8 worker threads.
+#[test]
+fn lprr_solve_is_thread_count_invariant() {
+    Checker::new("lprr_solve_is_thread_count_invariant")
+        .cases(40)
+        .regressions(REGRESSIONS)
+        .run(
+            |rng| (random_cca(rng), rng.random::<u64>()),
+            |(r, seed)| {
+                let p = build(r);
+                let opts = |threads| {
+                    PlacementStrategy::Lprr(LprrOptions {
+                        rng_seed: *seed,
+                        threads,
+                        ..LprrOptions::default()
+                    })
+                };
+                match place(&p, &opts(1)) {
+                    Err(_) => Ok(()), // infeasible LP fails identically at any thread count
+                    Ok(serial) => {
+                        for threads in [2usize, 8] {
+                            let par = place(&p, &opts(threads)).expect("same LP, same outcome");
+                            prop_assert_eq!(
+                                par.placement.as_slice(),
+                                serial.placement.as_slice()
+                            );
+                            prop_assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+                        }
+                        Ok(())
+                    }
+                }
+            },
+        );
+}
+
+/// The parallel exact search agrees with the serial branch and bound on
+/// the optimal cost, and any two parallel thread counts agree
+/// byte-for-byte (they share one branch decomposition).
+#[test]
+fn exact_parallel_matches_serial() {
+    Checker::new("exact_parallel_matches_serial")
+        .cases(40)
+        .regressions(REGRESSIONS)
+        .run(random_cca, |r| {
+            let p = build(r);
+            if p.num_objects() > 7 || p.num_nodes() > 3 {
+                return Ok(());
+            }
+            let with_threads = |threads| ExactOptions {
+                threads,
+                ..ExactOptions::default()
+            };
+            let serial = exact_placement(&p, &ExactOptions::default());
+            let two = exact_placement(&p, &with_threads(2));
+            let eight = exact_placement(&p, &with_threads(8));
+            match (&serial, &two) {
+                (Some((_, sc)), Some((_, pc))) => {
+                    prop_assert!((sc - pc).abs() < 1e-9, "serial {sc} vs parallel {pc}")
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "serial/parallel disagree: {other:?}"),
+            }
+            match (&two, &eight) {
+                (Some((p2, c2)), Some((p8, c8))) => {
+                    prop_assert_eq!(p2.as_slice(), p8.as_slice());
+                    prop_assert_eq!(c2.to_bits(), c8.to_bits());
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "2 vs 8 threads disagree: {other:?}"),
+            }
             Ok(())
         });
 }

@@ -18,6 +18,8 @@
 //!   [`rngs::StdRng`];
 //! * [`Rng`] — `random::<f64>()`, `random_range(a..b)`, `random_bool(p)`;
 //! * [`SeedableRng`] — `seed_from_u64` with splitmix64 state expansion;
+//! * [`StreamFamily`] — O(1) indexed substreams for deterministic parallel
+//!   fan-out (stream *i* depends only on `(seed, i)`, never on scheduling);
 //! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and uniform `choose`.
 //!
 //! # Example
@@ -44,9 +46,11 @@ pub mod distr;
 pub mod rngs;
 pub mod seq;
 mod splitmix;
+mod stream;
 mod xoshiro;
 
 pub use splitmix::SplitMix64;
+pub use stream::StreamFamily;
 pub use xoshiro::Xoshiro256StarStar;
 
 use distr::{SampleRange, StandardSample};

@@ -2,6 +2,11 @@
 
 use crate::Rng;
 
+/// The SplitMix64 state increment (Weyl constant). Shared with
+/// [`crate::StreamFamily`], which exploits the additive state walk to
+/// compute the `id`-th output in O(1).
+pub(crate) const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Sebastiano Vigna's public-domain SplitMix64 generator.
 ///
 /// One 64-bit state word, period 2^64, equidistributed over `u64`. Too weak
@@ -20,11 +25,21 @@ impl SplitMix64 {
     pub fn new(state: u64) -> Self {
         SplitMix64 { state }
     }
+
+    /// Splits off an independent child generator (Steele et al., OOPSLA
+    /// 2014): the child is seeded from the parent's next output, so parent
+    /// and child streams are decorrelated and the operation composes. For
+    /// *indexed* fan-out (stream `i` of a family, independent of the order
+    /// the streams are claimed in) use [`crate::StreamFamily`] instead.
+    #[must_use]
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
 }
 
 impl Rng for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = self.state.wrapping_add(GAMMA);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -51,5 +66,19 @@ mod tests {
         let mut a = SplitMix64::new(1);
         let mut b = SplitMix64::new(2);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn split_advances_the_parent_and_decorrelates() {
+        let mut parent = SplitMix64::new(77);
+        let mut reference = SplitMix64::new(77);
+        let mut child = parent.split();
+        // The split consumed exactly one parent output...
+        assert_eq!(child.next_u64(), {
+            let mut c = SplitMix64::new(reference.next_u64());
+            c.next_u64()
+        });
+        // ...and parent continues on its own stream afterwards.
+        assert_eq!(parent.next_u64(), reference.next_u64());
     }
 }

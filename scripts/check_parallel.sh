@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Verifies the parallel solve layer (cca-par) end to end:
+#   1. the workspace builds in release mode with the `chaos` feature;
+#   2. tier-1 (full test suite) passes;
+#   3. the thread-count-invariance battery passes: property suite, theorem
+#      suite, and the tier-2 chaos grid at threads {1, 2, 8};
+#   4. the `cca place` report is byte-identical for --threads 1/2/8;
+#   5. the parallel bench runs in quick mode and writes a JSON baseline,
+#      and the committed BENCH_parallel.json exists with the determinism
+#      column all-true;
+#   6. on hosts with >= 8 cores, 8 threads must actually be faster than
+#      serial (skipped on smaller hosts, where the speedup is physics-
+#      bounded at ~1.0 — the determinism contract is the hard gate).
+#
+# Run from anywhere inside the repo:
+#   scripts/check_parallel.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== parallel check: release build with chaos feature =="
+cargo build --release --features chaos
+
+echo
+echo "== parallel check: tier-1 test suite =="
+cargo test -q
+
+echo
+echo "== parallel check: thread-count invariance battery =="
+cargo test -q -p cca-par
+cargo test -q -p cca-rand stream
+cargo test -q -p cca-core --lib thread
+cargo test -q -p cca-core --test property thread_count
+cargo test -q -p cca-core --test property exact_parallel
+cargo test -q --test theorems parallel
+cargo test -q --features chaos --test chaos thread
+
+echo
+echo "== parallel check: CLI determinism across --threads =="
+CCA=target/release/cca
+TMPDIR_PAR="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_PAR"' EXIT
+for T in 1 2 8; do
+    "$CCA" place --preset tiny --nodes 3 --scope 40 --strategy lprr --seed 11 \
+        --threads "$T" >"$TMPDIR_PAR/report_$T.out" 2>/dev/null
+done
+for T in 2 8; do
+    if ! cmp -s "$TMPDIR_PAR/report_1.out" "$TMPDIR_PAR/report_$T.out"; then
+        echo "ERROR: cca place --threads $T diverged from --threads 1" >&2
+        diff "$TMPDIR_PAR/report_1.out" "$TMPDIR_PAR/report_$T.out" >&2 || true
+        exit 1
+    fi
+done
+echo "OK: cca place report identical for --threads 1/2/8."
+
+echo
+echo "== parallel check: bench smoke (quick mode) =="
+SMOKE_JSON="$TMPDIR_PAR/BENCH_parallel_smoke.json"
+CCA_BENCH_QUICK=1 CCA_BENCH_OUT="$SMOKE_JSON" \
+    cargo bench -q -p cca-bench --bench placement_parallel
+if [[ ! -s "$SMOKE_JSON" ]]; then
+    echo "ERROR: bench smoke did not write $SMOKE_JSON" >&2
+    exit 1
+fi
+if grep -q '"identical_to_serial": false' "$SMOKE_JSON"; then
+    echo "ERROR: bench smoke reports a serial/parallel divergence" >&2
+    exit 1
+fi
+echo "OK: quick bench wrote a baseline with identical_to_serial all-true."
+
+echo
+echo "== parallel check: committed baseline =="
+if [[ ! -s BENCH_parallel.json ]]; then
+    echo "ERROR: BENCH_parallel.json is missing — regenerate it with" >&2
+    echo "       cargo bench -p cca-bench --bench placement_parallel" >&2
+    exit 1
+fi
+if grep -q '"identical_to_serial": false' BENCH_parallel.json; then
+    echo "ERROR: committed BENCH_parallel.json records a determinism break" >&2
+    exit 1
+fi
+echo "OK: BENCH_parallel.json present, identical_to_serial all-true."
+
+echo
+echo "== parallel check: speedup gate =="
+CORES="$(nproc 2>/dev/null || echo 1)"
+if [[ "$CORES" -ge 8 ]]; then
+    # On a real multicore host, 8 rounding workers must beat serial. The
+    # bench emits one series object per line, so awk can gate on the
+    # 8-thread rows directly.
+    SPEEDUP_OK="$(awk '
+        /"threads": 8,/ {
+            if (match($0, /"speedup_vs_serial": [0-9.]+/)) {
+                v = substr($0, RSTART + 22, RLENGTH - 22) + 0
+                if (v <= 1.0) bad = 1
+            }
+        }
+        END { print bad ? "no" : "yes" }
+    ' "$SMOKE_JSON")"
+    if [[ "$SPEEDUP_OK" != "yes" ]]; then
+        echo "ERROR: host has $CORES cores but 8 rounding threads are not" >&2
+        echo "       faster than serial — parallelism regressed" >&2
+        exit 1
+    fi
+    echo "OK: 8-thread rounding beats serial on this $CORES-core host."
+else
+    echo "SKIP: host has $CORES core(s); speedup is physics-bounded at ~1.0."
+    echo "      Determinism (checked above) is the binding contract here."
+fi
+
+echo
+echo "parallel check passed."

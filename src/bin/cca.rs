@@ -52,6 +52,8 @@ struct Args {
     strategy: String,
     deadline_ms: Option<u64>,
     min_strategy: Option<String>,
+    threads: Option<usize>,
+    capacity_factor: Option<f64>,
     out: Option<String>,
     placement: Option<String>,
 }
@@ -66,9 +68,20 @@ impl Default for Args {
             strategy: "lprr".into(),
             deadline_ms: None,
             min_strategy: None,
+            threads: None,
+            capacity_factor: None,
             out: None,
             placement: None,
         }
+    }
+}
+
+impl Args {
+    /// Worker threads for the solve: `--threads N`, defaulting to the
+    /// machine's available parallelism. The thread count never changes the
+    /// computed placement — `--threads 1` merely runs everything inline.
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(cca_par::available_parallelism)
     }
 }
 
@@ -84,6 +97,10 @@ fn usage() -> &'static str {
                               degradation ladder (place only)\n\
        --min-strategy S       worst rung the ladder may select:\n\
                               lprr|partial-lprr|greedy|hash (place only)\n\
+       --threads N            worker threads for the solve (default: all\n\
+                              cores; results are identical for any N)\n\
+       --capacity-factor F    per-node capacity as a multiple of the\n\
+                              average load (default 2.0, as in the paper)\n\
        --out FILE             output path (place/workload/export-lp)\n\
        --placement FILE       saved placement to replay (replay only)\n\
      exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
@@ -116,6 +133,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some(value()?.parse().map_err(|e| format!("--deadline-ms: {e}"))?);
             }
             "--min-strategy" => args.min_strategy = Some(value()?),
+            "--threads" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
+            "--capacity-factor" => {
+                let f: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--capacity-factor: {e}"))?;
+                if !(f.is_finite() && f > 0.0) {
+                    return Err("--capacity-factor must be a positive number".into());
+                }
+                args.capacity_factor = Some(f);
+            }
             "--out" => args.out = Some(value()?),
             "--placement" => args.placement = Some(value()?),
             other => return Err(format!("unknown option {other}")),
@@ -136,6 +169,9 @@ fn trace_config(args: &Args) -> Result<TraceConfig, String> {
 fn build_pipeline(args: &Args) -> Result<Pipeline, String> {
     let mut config = PipelineConfig::new(trace_config(args)?, args.nodes);
     config.seed = args.seed;
+    if let Some(f) = args.capacity_factor {
+        config.capacity_factor = f;
+    }
     eprintln!(
         "building {} workload (seed {}, {} nodes)...",
         args.preset, args.seed, args.nodes
@@ -143,11 +179,11 @@ fn build_pipeline(args: &Args) -> Result<Pipeline, String> {
     Ok(Pipeline::build(&config))
 }
 
-fn strategy(name: &str) -> Result<Strategy, String> {
+fn strategy(name: &str, threads: usize) -> Result<Strategy, String> {
     match name {
         "random" | "random-hash" => Ok(Strategy::RandomHash),
         "greedy" => Ok(Strategy::Greedy),
-        "lprr" => Ok(Strategy::lprr()),
+        "lprr" => Ok(Strategy::lprr_threads(threads)),
         other => Err(format!("unknown strategy {other} (random|greedy|lprr)")),
     }
 }
@@ -189,7 +225,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     for (name, s, scope) in [
         ("random-hash", Strategy::RandomHash, None),
         ("greedy", Strategy::Greedy, args.scope),
-        ("lprr", Strategy::lprr(), args.scope),
+        ("lprr", Strategy::lprr_threads(args.threads()), args.scope),
     ] {
         let eval = p.evaluate(&s, scope).map_err(|e| e.to_string())?;
         println!(
@@ -231,7 +267,7 @@ fn cmd_place(args: &Args) -> Result<ExitCode, String> {
         return cmd_place_resilient(args);
     }
     let p = build_pipeline(args)?;
-    let s = strategy(&args.strategy)?;
+    let s = strategy(&args.strategy, args.threads())?;
     let report = p.place(&s, args.scope).map_err(|e| e.to_string())?;
     println!("strategy:   {}", report.strategy);
     println!("model cost: {:.2}", report.cost);
@@ -271,6 +307,7 @@ fn cmd_place_resilient(args: &Args) -> Result<ExitCode, String> {
         start,
         floor,
         partial_scope: args.scope,
+        threads: args.threads(),
         ..ResilienceOptions::default()
     };
     let r = p.place_resilient(&options);

@@ -181,6 +181,12 @@ impl Pipeline {
     /// Computes a placement: full optimization (`scope = None`) or
     /// important-object partial optimization over the top `scope` objects.
     ///
+    /// Determinism: for a fixed pipeline seed and strategy configuration
+    /// the placement is reproducible byte-for-byte, including under
+    /// [`LprrOptions::threads`](cca_core::LprrOptions) — rounding
+    /// repetition `i` draws from substream `i` of the seed regardless of
+    /// which worker runs it.
+    ///
     /// # Errors
     ///
     /// Propagates LP failures from the LPRR strategy.

@@ -14,7 +14,9 @@
 
 use cca::algo::{
     solve_resilient_with_faults, CcaProblem, FaultPlan, ResilienceOptions, Rung, RungOutcome,
+    SolveBudget,
 };
+use std::time::Duration;
 
 /// Four clusters of three strongly-correlated objects over three nodes:
 /// big enough to exercise the simplex, small enough to stay fast.
@@ -130,6 +132,109 @@ fn reports_name_the_injected_fault() {
         let fault = r.report.injected_fault.clone().expect("fault plan is not a noop");
         assert!(fault.contains(needle), "{fault} missing {needle}");
         assert!(r.report.summary().contains(needle));
+    }
+}
+
+/// The whole fault grid, re-run on the threaded ladder: every plan still
+/// yields a complete audited placement at 2 and 8 worker threads, and —
+/// since none of these plans involves a mid-solve deadline — the result
+/// is byte-identical to the serial walk.
+#[test]
+fn fault_grid_is_thread_count_invariant() {
+    let p = chaos_problem();
+    for plan in fault_grid(21) {
+        let serial = solve_resilient_with_faults(&p, &ResilienceOptions::default(), &plan);
+        for threads in [2usize, 8] {
+            let opts = ResilienceOptions {
+                threads,
+                ..ResilienceOptions::default()
+            };
+            let r = solve_resilient_with_faults(&p, &opts, &plan);
+            assert_eq!(
+                r.placement.num_objects(),
+                p.num_objects(),
+                "incomplete placement under {plan:?} at {threads} threads"
+            );
+            assert!(
+                r.audit.feasible() || r.report.degraded,
+                "unflagged infeasible placement under {plan:?} at {threads} threads"
+            );
+            assert_eq!(
+                r.placement.as_slice(),
+                serial.placement.as_slice(),
+                "threads = {threads} diverged from serial under {plan:?}"
+            );
+            assert_eq!(r.report.selected, serial.report.selected);
+            assert_eq!(r.report.degraded, serial.report.degraded);
+            assert_eq!(r.cost.to_bits(), serial.cost.to_bits());
+            let outcomes: Vec<_> = r.report.attempts.iter().map(|x| x.outcome.clone()).collect();
+            let serial_outcomes: Vec<_> =
+                serial.report.attempts.iter().map(|x| x.outcome.clone()).collect();
+            assert_eq!(outcomes, serial_outcomes, "attempt ledger diverged under {plan:?}");
+        }
+    }
+}
+
+/// Deadline exhaustion on the threaded ladder: with an already-expired
+/// budget and 8 workers, the gate trips every gated rung, the emergency
+/// hash rung still answers, the report flags the deadline, and the whole
+/// degraded outcome is seed-deterministic across repeat runs.
+#[test]
+fn threaded_deadline_exhaustion_degrades_deterministically() {
+    let p = chaos_problem();
+    for threads in [2usize, 8] {
+        let opts = ResilienceOptions {
+            threads,
+            budget: SolveBudget {
+                deadline: Some(Duration::ZERO),
+                ..SolveBudget::default()
+            },
+            ..ResilienceOptions::default()
+        };
+        let plan = FaultPlan { seed: 17, ..FaultPlan::default() };
+        let a = solve_resilient_with_faults(&p, &opts, &plan);
+        let b = solve_resilient_with_faults(&p, &opts, &plan);
+        assert_eq!(a.placement.num_objects(), p.num_objects());
+        assert!(a.report.deadline_exceeded, "expired budget must be flagged");
+        assert!(a.report.degraded);
+        assert_eq!(a.report.selected, Rung::Hash, "only the hash rung is deadline-exempt");
+        assert_eq!(
+            a.placement.as_slice(),
+            b.placement.as_slice(),
+            "deadline degradation must stay seed-deterministic at {threads} threads"
+        );
+        assert_eq!(a.report.selected, b.report.selected);
+        // Every gated rung is audited in the ledger, not silently dropped.
+        assert_eq!(a.report.attempts.len(), b.report.attempts.len());
+        assert!(a.report.attempts.len() >= 2, "gated rungs must still be recorded");
+    }
+}
+
+/// NaN-poisoned LP and all-infeasible rounding, threaded: the failure
+/// messages and fall-through behaviour match the serial ladder exactly.
+#[test]
+fn threaded_poison_and_failed_rounding_match_serial() {
+    let p = chaos_problem();
+    for plan in [
+        FaultPlan { seed: 1, poison_lp_after: Some(0), ..FaultPlan::default() },
+        FaultPlan { seed: 5, fail_rounding: true, ..FaultPlan::default() },
+    ] {
+        let serial = solve_resilient_with_faults(&p, &ResilienceOptions::default(), &plan);
+        let threaded = solve_resilient_with_faults(
+            &p,
+            &ResilienceOptions { threads: 8, ..ResilienceOptions::default() },
+            &plan,
+        );
+        assert_eq!(threaded.placement.as_slice(), serial.placement.as_slice());
+        assert_eq!(threaded.report.selected, serial.report.selected);
+        assert_eq!(threaded.report.degraded, serial.report.degraded);
+        let outcomes: Vec<_> =
+            threaded.report.attempts.iter().map(|x| x.outcome.clone()).collect();
+        let serial_outcomes: Vec<_> =
+            serial.report.attempts.iter().map(|x| x.outcome.clone()).collect();
+        assert_eq!(outcomes, serial_outcomes, "failure ledger diverged under {plan:?}");
+        assert_eq!(threaded.placement.num_objects(), p.num_objects());
+        assert!(threaded.audit.feasible() || threaded.report.degraded);
     }
 }
 

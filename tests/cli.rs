@@ -128,6 +128,80 @@ fn resilient_place_with_zero_deadline_degrades_to_hash() {
     assert!(stdout.contains("deadline exceeded"));
 }
 
+/// The determinism contract at the CLI surface: `place` prints the same
+/// report (placement summary, cost, loads) for any `--threads` value.
+#[test]
+fn place_output_is_identical_across_thread_counts() {
+    let base = [
+        "place", "--preset", "tiny", "--nodes", "3", "--scope", "40", "--strategy", "lprr",
+        "--seed", "11",
+    ];
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", threads]);
+        let (code, stdout, stderr) = run_code(&args);
+        assert!(
+            code == 0 || code == 2,
+            "threads {threads}: code {code}\nstdout: {stdout}\nstderr: {stderr}"
+        );
+        outputs.push((code, stdout));
+    }
+    let (code0, ref out0) = outputs[0];
+    for (i, (code, out)) in outputs.iter().enumerate().skip(1) {
+        assert_eq!(*code, code0, "exit code changed with thread count");
+        assert_eq!(out, out0, "--threads {} changed the report", ["1", "2", "8"][i]);
+    }
+}
+
+/// The exit-code taxonomy (0 ok / 2 degraded / 3 infeasible) is
+/// unaffected by the thread count.
+#[test]
+fn exit_codes_hold_at_every_thread_count() {
+    for threads in ["1", "2", "8"] {
+        // Generous deadline: the LPRR rung wins cleanly.
+        let (code, stdout, stderr) = run_code(&[
+            "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "60000",
+            "--threads", threads,
+        ]);
+        assert_eq!(code, 0, "threads {threads}\nstdout: {stdout}\nstderr: {stderr}");
+        assert!(stdout.contains("selected: lprr"));
+
+        // Expired deadline: degraded to hash, code 2, on every worker count.
+        let (code, stdout, _) = run_code(&[
+            "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "0",
+            "--threads", threads,
+        ]);
+        assert_eq!(code, 2, "threads {threads}\nstdout: {stdout}");
+        assert!(stdout.contains("selected: hash (degraded)"));
+        assert!(stdout.contains("deadline exceeded"));
+
+        // Starved capacities: no rung can fit the objects, so the audit
+        // reports violations and the exit code is 3 — again regardless of
+        // the worker count.
+        let (code, stdout, _) = run_code(&[
+            "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "60000",
+            "--capacity-factor", "0.4", "--threads", threads,
+        ]);
+        assert_eq!(code, 3, "threads {threads}\nstdout: {stdout}");
+        assert!(stdout.contains("VIOLATION"), "stdout: {stdout}");
+    }
+}
+
+#[test]
+fn capacity_factor_option_validates() {
+    let (code, _, stderr) = run_code(&["place", "--preset", "tiny", "--capacity-factor", "-1"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--capacity-factor must be a positive number"));
+}
+
+#[test]
+fn threads_option_rejects_zero() {
+    let (code, _, stderr) = run_code(&["place", "--preset", "tiny", "--threads", "0"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--threads must be at least 1"), "stderr: {stderr}");
+}
+
 #[test]
 fn resilient_place_validates_rung_names() {
     let (code, _, stderr) = run_code(&[

@@ -3,7 +3,7 @@
 //! the NP-hardness artifacts of Theorem 1.
 
 use cca::algo::{
-    construct_optimal_vertex, exact_placement, importance_ranking, round_once,
+    construct_optimal_vertex, exact_placement, importance_ranking, round_once, round_samples,
     scope_subproblem, solve_relaxation, ExactOptions, ObjectId, RelaxMethod, RelaxOptions,
 };
 use cca::pipeline::{Pipeline, PipelineConfig};
@@ -74,6 +74,91 @@ fn lemma2_split_probability_bound() {
         assert!(
             emp <= z + 0.035,
             "pair {e}: split rate {emp} exceeds z = {z}"
+        );
+    }
+}
+
+/// Lemma 2 under the parallel rounder, exact form: on two nodes the
+/// rounding never splits a pair more than the LP's split indicator says —
+/// and in fact the split probability is *exactly* `z_{i,j}` (with two
+/// nodes, a pair splits iff the rounding threshold lands in the interval
+/// of width `z` between the two objects' cumulative fractions). That
+/// upgrades the usual one-sided check to a two-sided 3-sigma binomial
+/// test, which we run against the indexed substream fan-out at 8 threads.
+#[test]
+fn lemma2_exact_on_two_nodes_parallel() {
+    let mut config = PipelineConfig::new(TraceConfig::tiny(), 2);
+    config.seed = 1234;
+    let p = Pipeline::build(&config);
+    let ranking = importance_ranking(&p.problem);
+    let keep: Vec<ObjectId> = ranking.into_iter().take(10).collect();
+    let sub = scope_subproblem(&p.problem, &keep, false);
+    let out = solve_relaxation(&sub, None, &RelaxOptions::default()).unwrap();
+    let trials = 4000usize;
+    let samples = round_samples(&out.fractional, trials, 7, 8).expect("stochastic vertex");
+    assert_eq!(samples.len(), trials);
+    for pair in sub.pairs() {
+        let z = out.fractional.split_indicator(pair.a, pair.b);
+        let splits = samples
+            .iter()
+            .filter(|s| s.node_of(pair.a) != s.node_of(pair.b))
+            .count();
+        let emp = splits as f64 / trials as f64;
+        let sigma = (z * (1.0 - z) / trials as f64).sqrt();
+        assert!(
+            (emp - z).abs() <= 3.0 * sigma + 1e-9,
+            "pair ({}, {}): empirical split rate {emp} vs exact z {z} (sigma {sigma})",
+            pair.a,
+            pair.b
+        );
+    }
+}
+
+/// Lemmas 1 and 2 hold under the threaded rounder on the 3-node pipeline
+/// subproblem, and the sample vector itself is thread-count invariant:
+/// repetition `i` is a function of `(seed, i)` alone, so 1, 2, and 8
+/// worker threads produce the identical sequence of placements.
+#[test]
+fn lemmas_hold_under_parallel_rounder() {
+    let sub = pipeline_subproblem(12);
+    let out = solve_relaxation(&sub, None, &RelaxOptions::default()).unwrap();
+    let trials = 2500usize;
+    let serial = round_samples(&out.fractional, trials, 9, 1).expect("stochastic vertex");
+    for threads in [2usize, 8] {
+        let par = round_samples(&out.fractional, trials, 9, threads).expect("stochastic vertex");
+        assert_eq!(par, serial, "threads = {threads} diverged from serial");
+    }
+
+    // Lemma 1 per substream: each object's marginal matches x_{i,k}. The
+    // marginal is exact (Lemma 1), so a two-sided binomial bound applies;
+    // 3.5 sigma keeps the 36 simultaneous checks comfortably inside it.
+    for o in sub.objects() {
+        for k in 0..sub.num_nodes() {
+            let want = out.fractional.fraction(o, k);
+            let hits = serial.iter().filter(|s| s.node_of(o) == k).count();
+            let emp = hits as f64 / trials as f64;
+            let sigma = (want * (1.0 - want) / trials as f64).sqrt();
+            assert!(
+                (emp - want).abs() <= 3.5 * sigma + 1e-9,
+                "object {o} node {k}: empirical {emp}, expected {want} (sigma {sigma})"
+            );
+        }
+    }
+
+    // Lemma 2, one-sided on >= 2 nodes: split rate <= z + 3 sigma.
+    for pair in sub.pairs() {
+        let z = out.fractional.split_indicator(pair.a, pair.b);
+        let splits = serial
+            .iter()
+            .filter(|s| s.node_of(pair.a) != s.node_of(pair.b))
+            .count();
+        let emp = splits as f64 / trials as f64;
+        let sigma = (z * (1.0 - z) / trials as f64).sqrt();
+        assert!(
+            emp <= z + 3.0 * sigma + 1e-9,
+            "pair ({}, {}): split rate {emp} exceeds z {z} + 3 sigma",
+            pair.a,
+            pair.b
         );
     }
 }
