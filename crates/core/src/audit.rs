@@ -194,30 +194,39 @@ pub fn audit_placement(
         }
     }
 
+    // One CSR edge walk in EdgeId order (the historic pair-scan order, so
+    // the accumulated cost is bit-identical); the heaviest-split list then
+    // reuses the precomputed weight ordering instead of re-sorting — for
+    // edges with equal weight the (a, b) tie-break makes both total
+    // orders, so the selection matches the historic sort exactly.
+    let graph = problem.graph();
     let mut communication_cost = 0.0;
     let mut colocated = 0usize;
-    let mut splits: Vec<SplitPair> = Vec::new();
-    for pair in problem.pairs() {
-        if placement.node_of(pair.a) == placement.node_of(pair.b) {
+    let mut split = vec![false; graph.num_edges()];
+    for edge in graph.edges() {
+        if placement.node_of(edge.a) == placement.node_of(edge.b) {
             colocated += 1;
         } else {
-            communication_cost += pair.weight();
-            splits.push(SplitPair {
-                a: pair.a,
-                b: pair.b,
-                a_name: problem.name(pair.a).to_string(),
-                b_name: problem.name(pair.b).to_string(),
-                weight: pair.weight(),
-            });
+            communication_cost += edge.weight;
+            split[edge.id.index()] = true;
         }
     }
-    splits.sort_unstable_by(|x, y| {
-        y.weight
-            .partial_cmp(&x.weight)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then((x.a, x.b).cmp(&(y.a, y.b)))
-    });
-    splits.truncate(top);
+    let splits: Vec<SplitPair> = graph
+        .edges_by_weight()
+        .iter()
+        .filter(|e| split[e.index()])
+        .take(top)
+        .map(|&e| {
+            let edge = graph.edge(e);
+            SplitPair {
+                a: edge.a,
+                b: edge.b,
+                a_name: problem.name(edge.a).to_string(),
+                b_name: problem.name(edge.b).to_string(),
+                weight: edge.weight,
+            }
+        })
+        .collect();
 
     let mut objects_per_node = vec![0usize; n];
     for o in problem.objects() {

@@ -98,10 +98,10 @@ pub fn capacity_bounded_clusters(problem: &CcaProblem, max_bytes: u64) -> Vec<Ve
     };
     // Inter-cluster weights, keyed per cluster as neighbour maps.
     let mut weights: Vec<HashMap<usize, f64>> = vec![HashMap::new(); t];
-    for pair in problem.pairs() {
-        let (a, b) = (pair.a.index(), pair.b.index());
-        *weights[a].entry(b).or_default() += pair.weight();
-        *weights[b].entry(a).or_default() += pair.weight();
+    for edge in problem.graph().edges() {
+        let (a, b) = (edge.a.index(), edge.b.index());
+        *weights[a].entry(b).or_default() += edge.weight;
+        *weights[b].entry(a).or_default() += edge.weight;
     }
 
     let mut heap: BinaryHeap<Merge> = BinaryHeap::new();
@@ -185,10 +185,10 @@ pub fn inter_cluster_weight(problem: &CcaProblem, clusters: &[Vec<ObjectId>]) ->
         }
     }
     problem
-        .pairs()
-        .iter()
-        .filter(|p| cluster_of[p.a.index()] != cluster_of[p.b.index()])
-        .map(|p| p.weight())
+        .graph()
+        .edges()
+        .filter(|e| cluster_of[e.a.index()] != cluster_of[e.b.index()])
+        .map(|e| e.weight)
         .sum()
 }
 

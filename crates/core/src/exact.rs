@@ -6,6 +6,7 @@
 //! the test suite uses to confirm that the LP relaxation lower-bounds the
 //! integral optimum and that LPRR placements land close to it.
 
+use crate::graph::CorrelationGraph;
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
 use cca_par::par_map_indexed;
@@ -44,8 +45,8 @@ struct SearchSpace<'a> {
     problem: &'a CcaProblem,
     /// Objects in branching order (heaviest pair involvement first).
     order: Vec<ObjectId>,
-    /// Adjacency: for each object, `(other, weight)` pairs.
-    adj: Vec<Vec<(usize, f64)>>,
+    /// CSR adjacency over the correlated pairs.
+    graph: &'a CorrelationGraph,
     uniform_capacity: bool,
     /// `limits[node][dim]`: dimension 0 is storage, then resources.
     limits: Vec<Vec<u64>>,
@@ -103,8 +104,8 @@ impl SearchSpace<'_> {
                 }
             }
             let mut extra = 0.0;
-            for &(other, weight) in &self.adj[obj.index()] {
-                let assigned = prefix.current[other];
+            for (other, weight) in self.graph.neighbors(obj) {
+                let assigned = prefix.current[other.index()];
                 if assigned != u32::MAX && assigned as usize != k {
                     extra += weight;
                 }
@@ -153,8 +154,8 @@ impl Search<'_> {
             // Incremental cost: split pairs against already-assigned
             // neighbours.
             let mut extra = 0.0;
-            for &(other, weight) in &self.space.adj[obj.index()] {
-                let assigned = self.current[other];
+            for (other, weight) in self.space.graph.neighbors(obj) {
+                let assigned = self.current[other.index()];
                 if assigned != u32::MAX && assigned as usize != k {
                     extra += weight;
                 }
@@ -203,18 +204,15 @@ pub fn exact_placement(
         return Some((Placement::new(Vec::new(), problem.num_nodes()), 0.0));
     }
 
-    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); t];
-    for pair in problem.pairs() {
-        adj[pair.a.index()].push((pair.b.index(), pair.weight()));
-        adj[pair.b.index()].push((pair.a.index(), pair.weight()));
-    }
+    let graph = problem.graph();
 
     // Branch on objects with the most incident weight first, then larger
-    // size (better pruning).
+    // size (better pruning). The graph's weighted degree is the same
+    // row-order sum the local adjacency build produced.
     let mut order: Vec<ObjectId> = problem.objects().collect();
-    let incident: Vec<f64> = adj
-        .iter()
-        .map(|nb| nb.iter().map(|&(_, w)| w).sum())
+    let incident: Vec<f64> = problem
+        .objects()
+        .map(|o| graph.weighted_degree(o))
         .collect();
     order.sort_unstable_by(|&x, &y| {
         incident[y.index()]
@@ -255,7 +253,7 @@ pub fn exact_placement(
     let space = SearchSpace {
         problem,
         order,
-        adj,
+        graph,
         uniform_capacity,
         limits,
         demands,

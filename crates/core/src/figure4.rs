@@ -44,9 +44,12 @@ impl Figure4Lp {
         }
         let x = |i: usize, k: usize| x_vars[i * n + k];
 
-        // y variables with objective weight r·w/2 (z substituted out).
-        for (e, pair) in problem.pairs().iter().enumerate() {
-            let half_weight = pair.weight() / 2.0;
+        // y variables with objective weight r·w/2 (z substituted out),
+        // one block per graph edge in [`EdgeId`] order so the column
+        // layout matches the pair list.
+        for edge in problem.graph().edges() {
+            let e = edge.id.index();
+            let half_weight = edge.weight / 2.0;
             for k in 0..n {
                 let y = model.add_var(format!("y_{e}_{k}"), half_weight);
                 // (6): y >= x_i - x_j  <=>  y - x_i + x_j >= 0
@@ -56,8 +59,8 @@ impl Figure4Lp {
                     0.0,
                     [
                         (y, 1.0),
-                        (x(pair.a.index(), k), -1.0),
-                        (x(pair.b.index(), k), 1.0),
+                        (x(edge.a.index(), k), -1.0),
+                        (x(edge.b.index(), k), 1.0),
                     ],
                 );
                 // (7): y >= x_j - x_i
@@ -67,8 +70,8 @@ impl Figure4Lp {
                     0.0,
                     [
                         (y, 1.0),
-                        (x(pair.a.index(), k), 1.0),
-                        (x(pair.b.index(), k), -1.0),
+                        (x(edge.a.index(), k), 1.0),
+                        (x(edge.b.index(), k), -1.0),
                     ],
                 );
             }

@@ -1,6 +1,6 @@
 //! Fractional placements — solutions of the LP relaxation.
 
-use crate::problem::{CcaProblem, ObjectId, Pair};
+use crate::problem::{CcaProblem, ObjectId};
 
 /// A fractional object placement: `x[i][k]` is the fraction of object `i`
 /// placed at node `k` (paper §2.2 — "an object can be split into arbitrary
@@ -97,9 +97,9 @@ impl FractionalPlacement {
     #[must_use]
     pub fn expected_cost(&self, problem: &CcaProblem) -> f64 {
         problem
-            .pairs()
-            .iter()
-            .map(|p: &Pair| p.weight() * self.split_indicator(p.a, p.b))
+            .graph()
+            .edges()
+            .map(|e| e.weight * self.split_indicator(e.a, e.b))
             .sum()
     }
 

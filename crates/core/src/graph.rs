@@ -1,0 +1,595 @@
+//! Canonical sparse correlation graph: CSR adjacency over the pair list.
+//!
+//! The CCA objective `Σ_{f(i)≠f(j)} r(i,j)·w(i,j)` is a sparse graph
+//! quantity, yet historically every layer re-derived it by scanning the
+//! flat [`crate::CcaProblem::pairs`] list end-to-end — O(|E|) per cost
+//! query and per candidate move. [`CorrelationGraph`] is the one shared
+//! adjacency view, built once inside `CcaProblem::build` (and rebuilt by
+//! `restrict_to` / `prune_pairs`), that every solve layer walks instead:
+//!
+//! * **Edge list in storage order.** [`EdgeId`] `e` maps back to
+//!   `problem.pairs()[e]`; the edge weight `r·w` is precomputed once with
+//!   the same multiplication the `Pair::weight` call sites performed, so
+//!   every sum over edges reproduces the historic pair-scan **bit for
+//!   bit**. The pair list is *never* re-sorted here: `restrict_to` yields
+//!   pairs in keep-list order and `prune_pairs` leaves them weight-sorted,
+//!   and both orders are load-bearing (f64 summation order, LP column
+//!   order). See DESIGN.md §9 for the full iteration-order contract.
+//! * **CSR rows in pair-scan order.** Row `i` lists the neighbours of `i`
+//!   in the order a single scan of the pair list discovers them — exactly
+//!   the push order of the per-module `adjacency()` vectors this replaces
+//!   — so O(deg) move deltas accumulate in the historic order too.
+//! * **Precomputed orderings.** [`CorrelationGraph::edges_by_correlation`]
+//!   (greedy §4.1) and [`CorrelationGraph::edges_by_weight`] (importance
+//!   ranking §4.2, audit) are total orders (the `(a, b)` tie-break is
+//!   unique per edge), so they equal what a per-call `sort_unstable` of
+//!   pair indices produced, for any starting permutation.
+//!
+//! [`IncrementalCost`] layers an O(deg)-per-move cost accumulator on top,
+//! with the invariant that deltas match a full recompute difference (the
+//! `graph_properties` suite pins this exactly, not within an epsilon).
+
+use crate::placement::Placement;
+use crate::problem::{ObjectId, Pair};
+
+/// Identifier of an edge: the index of its [`Pair`] in
+/// [`crate::CcaProblem::pairs`] — this back-map is a stable, documented
+/// contract (LP `z`-columns and cut rows are keyed by it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Index form of the identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One edge of the correlation graph: a pair plus its precomputed
+/// objective weight `r·w`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The edge's id (index into the problem's pair list).
+    pub id: EdgeId,
+    /// Smaller-id endpoint.
+    pub a: ObjectId,
+    /// Larger-id endpoint.
+    pub b: ObjectId,
+    /// Precomputed objective weight `r(a,b)·w(a,b)`.
+    pub weight: f64,
+}
+
+/// CSR (compressed-sparse-row) adjacency view of a problem's pair list.
+///
+/// Rows cover every object; row `i` holds `(neighbour, weight, edge)`
+/// entries in pair-scan order. The edge arrays are structure-of-arrays in
+/// [`EdgeId`] order, i.e. pair-storage order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationGraph {
+    num_objects: usize,
+    // Edge list (EdgeId order == pair storage order).
+    edge_a: Vec<ObjectId>,
+    edge_b: Vec<ObjectId>,
+    edge_weight: Vec<f64>,
+    // CSR rows (per-row entries in pair-scan order).
+    offsets: Vec<u32>,
+    nbr_ids: Vec<ObjectId>,
+    nbr_weights: Vec<f64>,
+    nbr_edges: Vec<EdgeId>,
+    // Σ of row weights, accumulated in row order.
+    weighted_degree: Vec<f64>,
+    // Total orders over EdgeId (unique (a, b) tie-break).
+    by_correlation: Vec<EdgeId>,
+    by_weight: Vec<EdgeId>,
+}
+
+/// Rows per fixed chunk of [`CorrelationGraph::cost_chunked`]. Chunk
+/// boundaries depend only on the object count — never on the thread count
+/// — so the chunked sum is invariant across `threads`.
+const COST_CHUNK_ROWS: usize = 256;
+
+impl CorrelationGraph {
+    /// Builds the CSR view over `pairs` for `num_objects` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references an object `>= num_objects` (the builder
+    /// validates ids before this runs).
+    #[must_use]
+    pub fn build(num_objects: usize, pairs: &[Pair]) -> CorrelationGraph {
+        let m = pairs.len();
+        let mut edge_a = Vec::with_capacity(m);
+        let mut edge_b = Vec::with_capacity(m);
+        let mut edge_weight = Vec::with_capacity(m);
+        let mut degree = vec![0u32; num_objects];
+        for pair in pairs {
+            assert!(
+                pair.a.index() < num_objects && pair.b.index() < num_objects,
+                "pair ({}, {}) out of range for {num_objects} objects",
+                pair.a,
+                pair.b
+            );
+            edge_a.push(pair.a);
+            edge_b.push(pair.b);
+            edge_weight.push(pair.weight());
+            degree[pair.a.index()] += 1;
+            degree[pair.b.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_objects + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        // Fill rows by a single scan of the pair list, appending each edge
+        // to both endpoint rows — the exact push order of the historic
+        // per-module `adjacency()` vectors.
+        let mut cursor: Vec<u32> = offsets[..num_objects].to_vec();
+        let mut nbr_ids = vec![ObjectId(0); 2 * m];
+        let mut nbr_weights = vec![0.0f64; 2 * m];
+        let mut nbr_edges = vec![EdgeId(0); 2 * m];
+        for e in 0..m {
+            let (a, b, w) = (edge_a[e], edge_b[e], edge_weight[e]);
+            let slot = cursor[a.index()] as usize;
+            nbr_ids[slot] = b;
+            nbr_weights[slot] = w;
+            nbr_edges[slot] = EdgeId(e as u32);
+            cursor[a.index()] += 1;
+            let slot = cursor[b.index()] as usize;
+            nbr_ids[slot] = a;
+            nbr_weights[slot] = w;
+            nbr_edges[slot] = EdgeId(e as u32);
+            cursor[b.index()] += 1;
+        }
+        // Weighted degree accumulates in row order (the order the exact
+        // solver's incident-weight sums used).
+        let weighted_degree = (0..num_objects)
+            .map(|i| {
+                let (s, t) = (offsets[i] as usize, offsets[i + 1] as usize);
+                nbr_weights[s..t].iter().sum()
+            })
+            .collect();
+        // Descending correlation, ties by (a, b) — greedy §4.1 order.
+        let mut by_correlation: Vec<EdgeId> = (0..m as u32).map(EdgeId).collect();
+        by_correlation.sort_unstable_by(|&x, &y| {
+            let (px, py) = (&pairs[x.index()], &pairs[y.index()]);
+            py.correlation
+                .partial_cmp(&px.correlation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((px.a, px.b).cmp(&(py.a, py.b)))
+        });
+        // Descending weight, ties by (a, b) — importance-ranking §4.2 and
+        // audit order.
+        let mut by_weight: Vec<EdgeId> = (0..m as u32).map(EdgeId).collect();
+        by_weight.sort_unstable_by(|&x, &y| {
+            edge_weight[y.index()]
+                .partial_cmp(&edge_weight[x.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((edge_a[x.index()], edge_b[x.index()]).cmp(&(edge_a[y.index()], edge_b[y.index()])))
+        });
+        CorrelationGraph {
+            num_objects,
+            edge_a,
+            edge_b,
+            edge_weight,
+            offsets,
+            nbr_ids,
+            nbr_weights,
+            nbr_edges,
+            weighted_degree,
+            by_correlation,
+            by_weight,
+        }
+    }
+
+    /// Number of objects (CSR rows).
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of edges `|E|`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edge_weight.len()
+    }
+
+    /// Degree of object `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn degree(&self, i: ObjectId) -> usize {
+        (self.offsets[i.index() + 1] - self.offsets[i.index()]) as usize
+    }
+
+    /// Sum of the edge weights incident to `i`, accumulated in row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn weighted_degree(&self, i: ObjectId) -> f64 {
+        self.weighted_degree[i.index()]
+    }
+
+    /// The edge with id `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        Edge {
+            id: e,
+            a: self.edge_a[e.index()],
+            b: self.edge_b[e.index()],
+            weight: self.edge_weight[e.index()],
+        }
+    }
+
+    /// Precomputed weight `r·w` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn edge_weight(&self, e: EdgeId) -> f64 {
+        self.edge_weight[e.index()]
+    }
+
+    /// All edges in [`EdgeId`] order (pair storage order) — the one edge
+    /// enumeration LP columns, seed cuts, and cost sums share.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.edge_weight.len()).map(move |e| self.edge(EdgeId(e as u32)))
+    }
+
+    /// Neighbours of `i` as `(neighbour, weight)`, in pair-scan order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: ObjectId) -> impl Iterator<Item = (ObjectId, f64)> + '_ {
+        let (s, t) = (
+            self.offsets[i.index()] as usize,
+            self.offsets[i.index() + 1] as usize,
+        );
+        self.nbr_ids[s..t]
+            .iter()
+            .copied()
+            .zip(self.nbr_weights[s..t].iter().copied())
+    }
+
+    /// Neighbours of `i` as `(neighbour, weight, edge)`, in pair-scan
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbor_edges(
+        &self,
+        i: ObjectId,
+    ) -> impl Iterator<Item = (ObjectId, f64, EdgeId)> + '_ {
+        let (s, t) = (
+            self.offsets[i.index()] as usize,
+            self.offsets[i.index() + 1] as usize,
+        );
+        self.nbr_ids[s..t]
+            .iter()
+            .copied()
+            .zip(self.nbr_weights[s..t].iter().copied())
+            .zip(self.nbr_edges[s..t].iter().copied())
+            .map(|((n, w), e)| (n, w, e))
+    }
+
+    /// Edge ids in descending correlation, ties by `(a, b)` — the order
+    /// greedy placement (§4.1) visits pairs.
+    #[must_use]
+    pub fn edges_by_correlation(&self) -> &[EdgeId] {
+        &self.by_correlation
+    }
+
+    /// Edge ids in descending objective weight `r·w`, ties by `(a, b)` —
+    /// the order importance ranking (§4.2) and the audit's heaviest-split
+    /// list use.
+    #[must_use]
+    pub fn edges_by_weight(&self) -> &[EdgeId] {
+        &self.by_weight
+    }
+
+    /// The CCA objective `Σ_{f(a)≠f(b)} r·w` of `placement`, summed over
+    /// edges in [`EdgeId`] order — bit-identical to the historic pair-list
+    /// scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer objects than the graph.
+    #[must_use]
+    pub fn cost(&self, placement: &Placement) -> f64 {
+        // The same `filter · map · sum` fold as the historic pair-list
+        // scan (including `sum`'s `-0.0` identity for the all-colocated
+        // case), over the SoA edge columns; zipped iteration keeps the
+        // loop free of bounds checks.
+        self.edge_a
+            .iter()
+            .zip(&self.edge_b)
+            .zip(&self.edge_weight)
+            .filter(|&((&a, &b), _)| placement.node_of(a) != placement.node_of(b))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Communication-cost change of moving `i` from its current node to
+    /// `target`: `Σ_{j∈adj(i)} w_ij·([f(j)=src] − [f(j)=target])`,
+    /// accumulated in row order (negative is an improvement; 0 when
+    /// `target` is `i`'s current node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn move_delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
+        let src = placement.node_of(i);
+        if src == target {
+            return 0.0;
+        }
+        let mut delta = 0.0;
+        for (other, w) in self.neighbors(i) {
+            let on = placement.node_of(other);
+            if on == src {
+                delta += w;
+            } else if on == target {
+                delta -= w;
+            }
+        }
+        delta
+    }
+
+    /// [`CorrelationGraph::cost`] evaluated in parallel over fixed chunks
+    /// of CSR row ranges (each edge counted at its smaller endpoint), with
+    /// per-chunk partials reduced in chunk order.
+    ///
+    /// The result is identical for every `threads` value (chunk boundaries
+    /// depend only on the object count) but is a *different associativity*
+    /// than the serial [`CorrelationGraph::cost`], so the two may differ in
+    /// the last ulps; solver-reported costs therefore stay on the serial
+    /// walk. Use this for bulk re-evaluation where the thread-invariance
+    /// contract suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer objects than the graph.
+    #[must_use]
+    pub fn cost_chunked(&self, placement: &Placement, threads: usize) -> f64 {
+        let chunks = self.num_objects.div_ceil(COST_CHUNK_ROWS).max(1);
+        let partials = cca_par::par_map_indexed(threads, chunks, |c| {
+            let start = c * COST_CHUNK_ROWS;
+            let end = (start + COST_CHUNK_ROWS).min(self.num_objects);
+            let mut sum = -0.0;
+            for i in start..end {
+                let obj = ObjectId(i as u32);
+                let on = placement.node_of(obj);
+                for (other, w) in self.neighbors(obj) {
+                    // Count each edge once, at its smaller endpoint.
+                    if other.index() > i && placement.node_of(other) != on {
+                        sum += w;
+                    }
+                }
+            }
+            sum
+        });
+        partials.into_iter().sum()
+    }
+}
+
+/// O(deg)-per-move communication-cost accumulator over a
+/// [`CorrelationGraph`].
+///
+/// Seeded with a full (bit-identical) cost walk, then kept current by
+/// adding each applied move's [`CorrelationGraph::move_delta`]. The
+/// `graph_properties` suite pins `delta == recompute difference` exactly
+/// (the delta and the recompute cancel/accumulate the same weights in the
+/// same row order), and `cost()` tracks a fresh recompute exactly on
+/// dyadic-weight instances across arbitrary move sequences.
+#[derive(Debug, Clone)]
+pub struct IncrementalCost<'g> {
+    graph: &'g CorrelationGraph,
+    cost: f64,
+}
+
+impl<'g> IncrementalCost<'g> {
+    /// Seeds the accumulator with the full cost of `placement`.
+    #[must_use]
+    pub fn new(graph: &'g CorrelationGraph, placement: &Placement) -> Self {
+        IncrementalCost {
+            graph,
+            cost: graph.cost(placement),
+        }
+    }
+
+    /// The tracked communication cost.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Cost change of moving `i` to `target` under `placement`, without
+    /// applying it.
+    #[must_use]
+    pub fn delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
+        self.graph.move_delta(placement, i, target)
+    }
+
+    /// Applies the move `i → target` to `placement` and folds its delta
+    /// into the tracked cost. Returns the delta.
+    pub fn apply(&mut self, placement: &mut Placement, i: ObjectId, target: usize) -> f64 {
+        let delta = self.graph.move_delta(placement, i, target);
+        placement.assign(i, target);
+        self.cost += delta;
+        delta
+    }
+
+    /// Re-seeds the tracked cost from a full walk of `placement` (e.g.
+    /// after bulk mutations applied outside this accumulator).
+    pub fn resync(&mut self, placement: &Placement) {
+        self.cost = self.graph.cost(placement);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::CcaProblem;
+
+    fn problem() -> CcaProblem {
+        let mut b = CcaProblem::builder();
+        let o: Vec<_> = (0..4).map(|i| b.add_object(format!("o{i}"), 10)).collect();
+        b.add_pair(o[0], o[1], 0.9, 10.0).unwrap(); // weight 9
+        b.add_pair(o[2], o[3], 0.5, 10.0).unwrap(); // weight 5
+        b.add_pair(o[0], o[2], 0.1, 10.0).unwrap(); // weight 1
+        b.uniform_capacities(2, 25).build().unwrap()
+    }
+
+    #[test]
+    fn edge_ids_back_map_to_pairs() {
+        let p = problem();
+        let g = p.graph();
+        assert_eq!(g.num_edges(), p.pairs().len());
+        assert_eq!(g.num_objects(), p.num_objects());
+        for (e, pair) in p.pairs().iter().enumerate() {
+            let edge = g.edge(EdgeId(e as u32));
+            assert_eq!((edge.a, edge.b), (pair.a, pair.b));
+            assert_eq!(edge.weight.to_bits(), pair.weight().to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_rows_follow_pair_scan_order() {
+        let p = problem();
+        let g = p.graph();
+        // Row 0 discovers (0,1) then (0,2) in pair-list order.
+        let row: Vec<_> = g.neighbors(ObjectId(0)).collect();
+        assert_eq!(row, vec![(ObjectId(1), 9.0), (ObjectId(2), 1.0)]);
+        assert_eq!(g.degree(ObjectId(0)), 2);
+        assert_eq!(g.degree(ObjectId(3)), 1);
+        assert_eq!(g.weighted_degree(ObjectId(0)), 10.0);
+        // Builder sorts pairs by (a, b): (0,1), (0,2), (2,3).
+        let with_edges: Vec<_> = g.neighbor_edges(ObjectId(2)).collect();
+        assert_eq!(
+            with_edges,
+            vec![
+                (ObjectId(0), 1.0, EdgeId(1)),
+                (ObjectId(3), 5.0, EdgeId(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn cost_matches_pair_scan_bitwise() {
+        let p = problem();
+        let g = p.graph();
+        for assignment in [
+            vec![0u32, 0, 0, 0],
+            vec![0, 1, 0, 1],
+            vec![0, 0, 1, 1],
+            vec![1, 0, 0, 1],
+        ] {
+            let pl = Placement::new(assignment, 2);
+            let scan: f64 = p
+                .pairs()
+                .iter()
+                .filter(|pr| pl.node_of(pr.a) != pl.node_of(pr.b))
+                .map(|pr| pr.weight())
+                .sum();
+            assert_eq!(g.cost(&pl).to_bits(), scan.to_bits());
+        }
+    }
+
+    #[test]
+    fn precomputed_orders_match_fresh_sorts() {
+        let p = problem();
+        let g = p.graph();
+        let mut by_corr: Vec<usize> = (0..p.pairs().len()).collect();
+        by_corr.sort_unstable_by(|&x, &y| {
+            let (px, py) = (&p.pairs()[x], &p.pairs()[y]);
+            py.correlation
+                .partial_cmp(&px.correlation)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((px.a, px.b).cmp(&(py.a, py.b)))
+        });
+        let got: Vec<usize> = g.edges_by_correlation().iter().map(|e| e.index()).collect();
+        assert_eq!(got, by_corr);
+        let mut by_w: Vec<usize> = (0..p.pairs().len()).collect();
+        by_w.sort_unstable_by(|&x, &y| {
+            let (px, py) = (&p.pairs()[x], &p.pairs()[y]);
+            py.weight()
+                .partial_cmp(&px.weight())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((px.a, px.b).cmp(&(py.a, py.b)))
+        });
+        let got: Vec<usize> = g.edges_by_weight().iter().map(|e| e.index()).collect();
+        assert_eq!(got, by_w);
+    }
+
+    #[test]
+    fn move_delta_equals_recompute_difference() {
+        let p = problem();
+        let g = p.graph();
+        let pl = Placement::new(vec![0, 1, 0, 1], 2);
+        for i in 0..4u32 {
+            for k in 0..2usize {
+                let delta = g.move_delta(&pl, ObjectId(i), k);
+                let mut moved = pl.clone();
+                moved.assign(ObjectId(i), k);
+                let diff = g.cost(&moved) - g.cost(&pl);
+                assert_eq!(delta.to_bits(), diff.to_bits(), "obj {i} -> node {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_chunked_is_thread_invariant() {
+        let p = problem();
+        let g = p.graph();
+        let pl = Placement::new(vec![0, 1, 0, 1], 2);
+        let serial = g.cost_chunked(&pl, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(g.cost_chunked(&pl, threads).to_bits(), serial.to_bits());
+        }
+        // Small instance: one chunk, so it even matches the serial walk.
+        assert_eq!(serial.to_bits(), g.cost(&pl).to_bits());
+    }
+
+    #[test]
+    fn incremental_cost_tracks_moves() {
+        let p = problem();
+        let g = p.graph();
+        let mut pl = Placement::new(vec![0, 0, 0, 0], 2);
+        let mut inc = IncrementalCost::new(g, &pl);
+        assert_eq!(inc.cost(), 0.0);
+        let d = inc.apply(&mut pl, ObjectId(1), 1);
+        assert_eq!(d, 9.0);
+        assert_eq!(inc.cost(), 9.0);
+        assert_eq!(pl.node_of(ObjectId(1)), 1);
+        inc.apply(&mut pl, ObjectId(0), 1);
+        // (0,1) rejoined (−9), (0,2) split (+1).
+        assert_eq!(inc.cost(), 1.0);
+        assert_eq!(inc.cost().to_bits(), g.cost(&pl).to_bits());
+        inc.resync(&pl);
+        assert_eq!(inc.cost(), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_well_formed() {
+        let g = CorrelationGraph::build(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(ObjectId(2)), 0);
+        assert_eq!(g.weighted_degree(ObjectId(0)), 0.0);
+        let pl = Placement::new(vec![0, 1, 0], 2);
+        assert_eq!(g.cost(&pl), 0.0);
+        assert_eq!(g.cost_chunked(&pl, 4), 0.0);
+    }
+}

@@ -65,15 +65,6 @@ pub fn greedy_placement(problem: &CcaProblem) -> Placement {
         free_k.iter().zip(demand).all(|(&f, &d)| f >= d)
     };
 
-    let mut pairs: Vec<usize> = (0..problem.pairs().len()).collect();
-    pairs.sort_unstable_by(|&x, &y| {
-        let (px, py) = (&problem.pairs()[x], &problem.pairs()[y]);
-        py.correlation
-            .partial_cmp(&px.correlation)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then((px.a, px.b).cmp(&(py.a, py.b)))
-    });
-
     let place = |assignment: &mut Vec<u32>, free: &mut Vec<Vec<i128>>, i: ObjectId, k: usize| {
         assignment[i.index()] = k as u32;
         for (f, d) in free[k].iter_mut().zip(&demands[i.index()]) {
@@ -81,8 +72,11 @@ pub fn greedy_placement(problem: &CcaProblem) -> Placement {
         }
     };
 
-    for e in pairs {
-        let pair = &problem.pairs()[e];
+    // The graph precomputes the (descending correlation, ties (a, b))
+    // visit order once at build; the unique (a, b) tie-break makes it a
+    // total order, so it equals the per-call sort this replaces.
+    for &e in problem.graph().edges_by_correlation() {
+        let pair = &problem.pairs()[e.index()];
         let (a, b) = (pair.a, pair.b);
         let (pa, pb) = (assignment[a.index()], assignment[b.index()]);
         match (pa, pb) {

@@ -64,6 +64,7 @@ pub mod error;
 pub mod exact;
 pub mod figure4;
 pub mod fractional;
+pub mod graph;
 pub mod greedy;
 pub mod migrate;
 pub mod persist;
@@ -82,6 +83,7 @@ pub use audit::{audit_placement, CapacityViolation, PlacementAudit, SplitPair};
 pub use cluster::{capacity_bounded_clusters, inter_cluster_weight};
 pub use exact::{exact_placement, ExactOptions};
 pub use fractional::FractionalPlacement;
+pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost};
 pub use greedy::greedy_placement;
 pub use migrate::{drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome};
 pub use persist::{format_placement, read_placement, write_placement};

@@ -15,6 +15,7 @@
 //! * [`drain_node`] — evacuate a node for decommission or failure
 //!   recovery, keeping correlation clusters together.
 
+use crate::graph::IncrementalCost;
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
 
@@ -145,36 +146,6 @@ impl Loads {
     }
 }
 
-/// Communication-cost change of moving `i` from its current node to
-/// `target` under `placement`.
-fn move_delta(
-    adj: &[Vec<(ObjectId, f64)>],
-    placement: &Placement,
-    i: ObjectId,
-    target: usize,
-) -> f64 {
-    let src = placement.node_of(i);
-    let mut delta = 0.0;
-    for &(other, w) in &adj[i.index()] {
-        let on = placement.node_of(other);
-        if on == src {
-            delta += w;
-        } else if on == target {
-            delta -= w;
-        }
-    }
-    delta
-}
-
-fn adjacency(problem: &CcaProblem) -> Vec<Vec<(ObjectId, f64)>> {
-    let mut adj: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); problem.num_objects()];
-    for pair in problem.pairs() {
-        adj[pair.a.index()].push((pair.b, pair.weight()));
-        adj[pair.b.index()].push((pair.a, pair.weight()));
-    }
-    adj
-}
-
 /// Moves from `current` toward `desired` without exceeding
 /// `budget_bytes` of migration traffic.
 ///
@@ -199,7 +170,7 @@ pub fn reconcile(
     options: &MigrateOptions,
 ) -> MigrationOutcome {
     assert_eq!(desired.num_nodes(), current.num_nodes());
-    let adj = adjacency(problem);
+    let graph = problem.graph();
     let mut placement = current.clone();
     let mut loads = Loads::new(problem, &placement, options.capacity_slack);
     let mut budget = budget_bytes;
@@ -231,7 +202,7 @@ pub fn reconcile(
             visited.insert(start);
             while let Some(o) = stack.pop() {
                 group.push(o);
-                for &(other, _) in &adj[o.index()] {
+                for (other, _) in graph.neighbors(o) {
                     if pending_set.contains(&other)
                         && !visited.contains(&other)
                         && desired.node_of(other) == target
@@ -246,7 +217,7 @@ pub fn reconcile(
             let mut gain = 0.0;
             for &o in &group {
                 let src = placement.node_of(o);
-                for &(other, w) in &adj[o.index()] {
+                for (other, w) in graph.neighbors(o) {
                     if in_group.contains(&other) {
                         // Internal edge: contributes only if the members
                         // are currently split (they will be together).
@@ -341,9 +312,12 @@ pub fn improve_in_place(
     current: &Placement,
     options: &MigrateOptions,
 ) -> MigrationOutcome {
-    let adj = adjacency(problem);
+    let graph = problem.graph();
     let mut placement = current.clone();
     let mut loads = Loads::new(problem, &placement, options.capacity_slack);
+    // O(deg)-per-move deltas and a running objective, instead of O(|E|)
+    // rescans per candidate.
+    let mut inc = IncrementalCost::new(graph, &placement);
     let n = problem.num_nodes();
     let mut moves = 0usize;
     let mut migrated = 0u64;
@@ -358,7 +332,7 @@ pub fn improve_in_place(
                 if k == src || !loads.fits(k, o) {
                     continue;
                 }
-                let delta = move_delta(&adj, &placement, o, k);
+                let delta = inc.delta(&placement, o, k);
                 // Must beat the migration price strictly.
                 if delta + price < -1e-12 && best.is_none_or(|(bd, _)| delta < bd) {
                     best = Some((delta, k));
@@ -366,7 +340,7 @@ pub fn improve_in_place(
             }
             if let Some((_, k)) = best {
                 loads.apply(o, src, k);
-                placement.assign(o, k);
+                inc.apply(&mut placement, o, k);
                 migrated += problem.size(o);
                 moves += 1;
                 improved = true;
@@ -377,8 +351,16 @@ pub fn improve_in_place(
         }
     }
 
+    // Reported cost stays the fresh full walk (bit-stable across releases);
+    // the accumulator must agree up to float associativity.
+    let comm_cost = placement.communication_cost(problem);
+    debug_assert!(
+        (inc.cost() - comm_cost).abs() <= 1e-9 * (1.0 + comm_cost.abs()),
+        "incremental cost drifted from recompute: {} vs {comm_cost}",
+        inc.cost()
+    );
     MigrationOutcome {
-        comm_cost: placement.communication_cost(problem),
+        comm_cost,
         placement,
         migrated_bytes: migrated,
         moves,
@@ -406,7 +388,7 @@ pub fn drain_node(
 ) -> Option<MigrationOutcome> {
     assert!(node < current.num_nodes(), "node {node} out of range");
     assert!(current.num_nodes() > 1, "cannot drain the only node");
-    let adj = adjacency(problem);
+    let graph = problem.graph();
     let mut placement = current.clone();
     let mut loads = Loads::new(problem, &placement, options.capacity_slack);
     // The drained node accepts nothing.
@@ -433,7 +415,7 @@ pub fn drain_node(
         visited.insert(start);
         while let Some(o) = stack.pop() {
             group.push(o);
-            for &(other, _) in &adj[o.index()] {
+            for (other, _) in graph.neighbors(o) {
                 if evac_set.contains(&other) && !visited.contains(&other) {
                     visited.insert(other);
                     stack.push(other);
@@ -457,7 +439,7 @@ pub fn drain_node(
         }
         let mut join = vec![0.0f64; n];
         for &o in &group {
-            for &(other, w) in &adj[o.index()] {
+            for (other, w) in graph.neighbors(o) {
                 if !group.contains(&other) {
                     let on = placement.node_of(other);
                     if on != node {
@@ -496,8 +478,9 @@ pub fn drain_node(
             let target = (0..n)
                 .filter(|&k| k != node && loads.fits(k, o))
                 .min_by(|&a, &b| {
-                    move_delta(&adj, &placement, o, a)
-                        .partial_cmp(&move_delta(&adj, &placement, o, b))
+                    graph
+                        .move_delta(&placement, o, a)
+                        .partial_cmp(&graph.move_delta(&placement, o, b))
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.cmp(&b))
                 })?;

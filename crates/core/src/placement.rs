@@ -87,15 +87,13 @@ impl Placement {
     }
 
     /// Total communication cost `Σ_{f(i)≠f(j)} r(i,j)·w(i,j)` — the CCA
-    /// objective (paper Eq. 1).
+    /// objective (paper Eq. 1). A single CSR edge walk in [`EdgeId`]
+    /// (pair-storage) order, bit-identical to the historic pair-list scan.
+    ///
+    /// [`EdgeId`]: crate::graph::EdgeId
     #[must_use]
     pub fn communication_cost(&self, problem: &CcaProblem) -> f64 {
-        problem
-            .pairs()
-            .iter()
-            .filter(|p| self.node_of(p.a) != self.node_of(p.b))
-            .map(|p| p.weight())
-            .sum()
+        problem.graph().cost(self)
     }
 
     /// Returns `true` if every node's load is within its capacity, scaled

@@ -1,7 +1,8 @@
 //! The Capacity-Constrained Assignment (CCA) problem (paper §2.1).
 
+use crate::graph::CorrelationGraph;
 use crate::resources::{Resource, ResourceError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Identifier of a data object (index into the problem's object table).
@@ -52,6 +53,10 @@ impl Pair {
 pub enum ProblemError {
     /// A pair references an object id outside the object table.
     UnknownObject(ObjectId),
+    /// Two objects share a name. Names feed MD5 hash placement
+    /// ([`crate::random_hash_placement`]), so duplicates would silently
+    /// collide onto the same bucket and corrupt the baseline.
+    DuplicateName(String),
     /// A pair connects an object to itself.
     SelfPair(ObjectId),
     /// A numeric field is negative or non-finite.
@@ -73,6 +78,9 @@ impl fmt::Display for ProblemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProblemError::UnknownObject(o) => write!(f, "pair references unknown object {o}"),
+            ProblemError::DuplicateName(name) => {
+                write!(f, "duplicate object name {name:?} (hash placement would collide)")
+            }
             ProblemError::SelfPair(o) => write!(f, "pair connects {o} to itself"),
             ProblemError::InvalidNumber(msg) => write!(f, "invalid number: {msg}"),
             ProblemError::NoNodes => f.write_str("problem has no nodes"),
@@ -113,6 +121,7 @@ pub struct CcaProblem {
     capacities: Vec<u64>,
     pairs: Vec<Pair>,
     resources: Vec<Resource>,
+    graph: CorrelationGraph,
 }
 
 impl CcaProblem {
@@ -168,6 +177,14 @@ impl CcaProblem {
     #[must_use]
     pub fn pairs(&self) -> &[Pair] {
         &self.pairs
+    }
+
+    /// The CSR adjacency view of the pair list, kept in lock-step with
+    /// [`CcaProblem::pairs`]: edge `e` of the graph is `pairs()[e]`. Every
+    /// solve layer walks this instead of rescanning the flat list.
+    #[must_use]
+    pub fn graph(&self) -> &CorrelationGraph {
+        &self.graph
     }
 
     /// Secondary capacity constraints (paper 3.3); empty in the base
@@ -259,7 +276,7 @@ impl CcaProblem {
         }
         let names = keep.iter().map(|&o| self.names[o.index()].clone()).collect();
         let sizes = keep.iter().map(|&o| self.sizes[o.index()]).collect();
-        let pairs = self
+        let pairs: Vec<Pair> = self
             .pairs
             .iter()
             .filter_map(|p| {
@@ -273,6 +290,11 @@ impl CcaProblem {
                 })
             })
             .collect();
+        // NOTE: the restricted pair list stays in *storage order* of the
+        // parent (filtered, endpoints remapped) — it is NOT re-sorted by
+        // the new (a, b). Both the cost summation order and the LP column
+        // order ride on this, so the graph is rebuilt over the list as-is.
+        let graph = CorrelationGraph::build(keep.len(), &pairs);
         (
             CcaProblem {
                 names,
@@ -280,6 +302,7 @@ impl CcaProblem {
                 capacities: self.capacities.clone(),
                 pairs,
                 resources: self.resources.iter().map(|r| r.restrict(keep)).collect(),
+                graph,
             },
             keep.to_vec(),
         )
@@ -318,6 +341,10 @@ impl CcaProblem {
         });
         let dropped = self.pairs.len() - max_pairs;
         self.pairs.truncate(max_pairs);
+        // The surviving pairs stay in the weight-sorted order the truncate
+        // left them in (NOT re-sorted by (a, b)); rebuild the CSR view over
+        // that exact order.
+        self.graph = CorrelationGraph::build(self.sizes.len(), &self.pairs);
         dropped
     }
 }
@@ -326,6 +353,7 @@ impl CcaProblem {
 #[derive(Debug, Clone, Default)]
 pub struct CcaProblemBuilder {
     names: Vec<String>,
+    name_set: HashSet<String>,
     sizes: Vec<u64>,
     capacities: Vec<u64>,
     pair_weights: HashMap<(ObjectId, ObjectId), (f64, f64)>,
@@ -336,9 +364,18 @@ pub struct CcaProblemBuilder {
 impl CcaProblemBuilder {
     /// Adds an object of size `size` and returns its id. `name` feeds
     /// hash-based placement and diagnostics.
+    ///
+    /// Names must be unique: a duplicate would silently collide
+    /// hash-placement buckets, so it is recorded as a
+    /// [`ProblemError::DuplicateName`] and surfaced by
+    /// [`CcaProblemBuilder::build`].
     pub fn add_object(&mut self, name: impl Into<String>, size: u64) -> ObjectId {
         let id = ObjectId(self.sizes.len() as u32);
-        self.names.push(name.into());
+        let name = name.into();
+        if !self.name_set.insert(name.clone()) && self.error.is_none() {
+            self.error = Some(ProblemError::DuplicateName(name.clone()));
+        }
+        self.names.push(name);
         self.sizes.push(size);
         id
     }
@@ -439,12 +476,14 @@ impl CcaProblemBuilder {
                 return Err(ProblemError::Resource(e));
             }
         }
+        let graph = CorrelationGraph::build(self.sizes.len(), &pairs);
         Ok(CcaProblem {
             names: self.names.clone(),
             sizes: self.sizes.clone(),
             capacities: self.capacities.clone(),
             pairs,
             resources: self.resources.clone(),
+            graph,
         })
     }
 }
@@ -524,6 +563,32 @@ mod tests {
             b.add_pair(a, c, 0.5, f64::INFINITY),
             Err(ProblemError::InvalidNumber(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = CcaProblem::builder();
+        let a = b.add_object("same", 1);
+        let c = b.add_object("same", 2);
+        assert_ne!(a, c, "ids still advance so pair recording stays sane");
+        assert!(matches!(
+            b.uniform_capacities(2, 10).build(),
+            Err(ProblemError::DuplicateName(name)) if name == "same"
+        ));
+    }
+
+    #[test]
+    fn graph_tracks_pairs_through_restrict_and_prune() {
+        let p = sample();
+        assert_eq!(p.graph().num_edges(), p.pairs().len());
+        let (sub, _) = p.restrict_to(&[ObjectId(2), ObjectId(0)]);
+        assert_eq!(sub.graph().num_edges(), sub.pairs().len());
+        assert_eq!(sub.graph().num_objects(), 2);
+        let mut pruned = sample();
+        pruned.prune_pairs(1);
+        assert_eq!(pruned.graph().num_edges(), 1);
+        let edge = pruned.graph().edge(crate::graph::EdgeId(0));
+        assert_eq!((edge.a, edge.b), (pruned.pairs()[0].a, pruned.pairs()[0].b));
     }
 
     #[test]

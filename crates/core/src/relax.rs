@@ -19,6 +19,7 @@
 //! two formulations agree numerically.
 
 use crate::fractional::FractionalPlacement;
+use crate::graph::EdgeId;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
 use cca_lp::{Col, LpError, Model, Relation, SolverOptions};
@@ -355,10 +356,10 @@ pub fn construct_optimal_vertex(problem: &CcaProblem) -> Result<RelaxOutcome, Lp
         }
         x
     }
-    for pair in problem.pairs() {
+    for edge in problem.graph().edges() {
         let (ra, rb) = (
-            find(&mut parent, pair.a.index()),
-            find(&mut parent, pair.b.index()),
+            find(&mut parent, edge.a.index()),
+            find(&mut parent, edge.b.index()),
         );
         if ra != rb {
             parent[ra] = rb;
@@ -467,12 +468,12 @@ fn solve_by_cutting_planes(
                 p.num_nodes()
             )));
         }
-        for (e, pair) in problem.pairs().iter().enumerate() {
-            let (ka, kb) = (p.node_of(pair.a), p.node_of(pair.b));
+        for edge in problem.graph().edges() {
+            let (ka, kb) = (p.node_of(edge.a), p.node_of(edge.b));
             if ka != kb {
                 let mut signs = vec![(ka as u32, true), (kb as u32, false)];
                 signs.sort_unstable();
-                let cut = Cut { pair: e, signs };
+                let cut = Cut { pair: edge.id.index(), signs };
                 if cut_set.insert(cut.clone()) {
                     cuts.push(cut);
                 }
@@ -516,11 +517,13 @@ fn solve_by_cutting_planes(
             }
         }
         let x = |i: usize, k: usize| x_vars[i * n + k];
+        // One z column per graph edge, in [`EdgeId`] order — the stable
+        // edge-order contract keeps simplex column order (and therefore
+        // pivot sequences) identical to the historic pair enumeration.
         let z_vars: Vec<Col> = problem
-            .pairs()
-            .iter()
-            .enumerate()
-            .map(|(e, pair)| model.add_var(format!("z_{e}"), pair.weight()))
+            .graph()
+            .edges()
+            .map(|edge| model.add_var(format!("z_{}", edge.id.index()), edge.weight))
             .collect();
 
         for i in 0..t {
@@ -552,8 +555,8 @@ fn solve_by_cutting_planes(
             }
         }
         for (c, cut) in cuts.iter().enumerate() {
-            let pair = &problem.pairs()[cut.pair];
-            let (ia, ib) = (pair.a.index(), pair.b.index());
+            let edge = problem.graph().edge(EdgeId(cut.pair as u32));
+            let (ia, ib) = (edge.a.index(), edge.b.index());
             // z_e − ½ Σ σ_k x_{i,k} + ½ Σ σ_k x_{j,k} >= 0.
             let mut coeffs: Vec<(Col, f64)> = Vec::with_capacity(1 + 2 * cut.signs.len());
             coeffs.push((z_vars[cut.pair], 1.0));
@@ -608,11 +611,12 @@ fn solve_by_cutting_planes(
 
         // Separation: most violated sign pattern per pair.
         let mut violated: Vec<(f64, Cut)> = Vec::new();
-        for (e, pair) in problem.pairs().iter().enumerate() {
+        for edge in problem.graph().edges() {
+            let e = edge.id.index();
             let z_val = sol.value(z_vars[e]);
-            let true_z = frac.split_indicator(pair.a, pair.b);
+            let true_z = frac.split_indicator(edge.a, edge.b);
             if true_z - z_val > options.tolerance {
-                let (ra, rb) = (frac.row(pair.a), frac.row(pair.b));
+                let (ra, rb) = (frac.row(edge.a), frac.row(edge.b));
                 let mut signs: Vec<(u32, bool)> = Vec::new();
                 for k in 0..n {
                     let diff = ra[k] - rb[k];

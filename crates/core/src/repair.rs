@@ -25,6 +25,7 @@
 //! All reported experiment costs are measured *after* repair, so the
 //! comparison against the baselines stays honest.
 
+use crate::graph::CorrelationGraph;
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
 use std::collections::HashMap;
@@ -43,7 +44,7 @@ struct Repairer<'a> {
     /// `limits[node][dim]`: dimension 0 is storage, then one per secondary
     /// resource (paper 3.3), all scaled by the slack.
     limits: Vec<Vec<f64>>,
-    adj: Vec<Vec<(ObjectId, f64)>>,
+    graph: &'a CorrelationGraph,
     /// `loads[node][dim]`.
     loads: Vec<Vec<f64>>,
     /// Cached per-object demand vectors.
@@ -53,19 +54,9 @@ struct Repairer<'a> {
 
 impl Repairer<'_> {
     /// Cost change of moving object `i` to node `target` (negative is an
-    /// improvement).
+    /// improvement) — one O(deg) CSR row walk.
     fn move_delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
-        let src = placement.node_of(i);
-        let mut delta = 0.0;
-        for &(other, w) in &self.adj[i.index()] {
-            let on = placement.node_of(other);
-            if on == src {
-                delta += w;
-            } else if on == target {
-                delta -= w;
-            }
-        }
-        delta
+        self.graph.move_delta(placement, i, target)
     }
 
     fn fits(&self, node: usize, extra: &[f64]) -> bool {
@@ -109,7 +100,7 @@ impl Repairer<'_> {
             visited.insert(i, true);
             while let Some(o) = stack.pop() {
                 cluster.push(o);
-                for &(other, _) in &self.adj[o.index()] {
+                for (other, _) in self.graph.neighbors(o) {
                     if placement.node_of(other) == node && !visited.contains_key(&other) {
                         visited.insert(other, true);
                         stack.push(other);
@@ -157,7 +148,7 @@ impl Repairer<'_> {
             let mut base = 0.0;
             let mut join = vec![0.0f64; n];
             for &o in &cluster {
-                for &(other, w) in &self.adj[o.index()] {
+                for (other, w) in self.graph.neighbors(o) {
                     if in_cluster.contains(&other) {
                         continue;
                     }
@@ -274,13 +265,6 @@ pub fn repair_capacity_with(
     assert!(slack >= 1.0, "slack must be at least 1.0");
     assert_eq!(placement.num_objects(), problem.num_objects());
     let n = problem.num_nodes();
-
-    let mut adj: Vec<Vec<(ObjectId, f64)>> = vec![Vec::new(); problem.num_objects()];
-    for pair in problem.pairs() {
-        adj[pair.a.index()].push((pair.b, pair.weight()));
-        adj[pair.b.index()].push((pair.a, pair.weight()));
-    }
-
     let dims = 1 + problem.resources().len();
     let limits: Vec<Vec<f64>> = (0..n)
         .map(|k| {
@@ -302,7 +286,7 @@ pub fn repair_capacity_with(
     let mut repairer = Repairer {
         problem,
         limits,
-        adj,
+        graph: problem.graph(),
         loads,
         demands,
         moves: 0,

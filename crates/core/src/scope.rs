@@ -18,19 +18,15 @@ use cca_hash::hash_placement;
 ///    the optimization even though they carry no communication.
 #[must_use]
 pub fn importance_ranking(problem: &CcaProblem) -> Vec<ObjectId> {
-    let mut pair_order: Vec<usize> = (0..problem.pairs().len()).collect();
-    pair_order.sort_unstable_by(|&x, &y| {
-        let (px, py) = (&problem.pairs()[x], &problem.pairs()[y]);
-        py.weight()
-            .partial_cmp(&px.weight())
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then((px.a, px.b).cmp(&(py.a, py.b)))
-    });
+    // The (descending weight, ties (a, b)) pair order is precomputed on
+    // the graph at build; the unique (a, b) tie-break makes it a total
+    // order, so it equals the per-call sort this replaces.
+    let graph = problem.graph();
     let mut seen = vec![false; problem.num_objects()];
     let mut ranking = Vec::with_capacity(problem.num_objects());
-    for e in pair_order {
-        let pair = &problem.pairs()[e];
-        for o in [pair.a, pair.b] {
+    for &e in graph.edges_by_weight() {
+        let edge = graph.edge(e);
+        for o in [edge.a, edge.b] {
             if !seen[o.index()] {
                 seen[o.index()] = true;
                 ranking.push(o);

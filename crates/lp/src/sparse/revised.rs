@@ -215,7 +215,7 @@ impl<'a> Simplex<'a> {
             // fires immediately, so a pre-expired deadline aborts before
             // any work is done).
             if let Some(deadline) = self.opts.deadline {
-                if self.iterations % 16 == 0 && std::time::Instant::now() >= deadline {
+                if self.iterations.is_multiple_of(16) && std::time::Instant::now() >= deadline {
                     return Err(LpError::DeadlineExceeded {
                         iterations: self.iterations,
                     });

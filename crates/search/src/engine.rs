@@ -247,6 +247,62 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// Predicts the communication bytes of `query` **without** touching
+    /// posting-list contents — the serving-layer analogue of the solver's
+    /// O(deg) move deltas: cost from metadata only, no full evaluation.
+    ///
+    /// * [`AggregationPolicy::Union`] — exact: every non-host keyword on a
+    ///   foreign node ships its whole list, which depends only on sizes
+    ///   and placement.
+    /// * [`AggregationPolicy::Intersection`] — a **lower bound**: the
+    ///   first hop (smaller of the two smallest lists, when split) is
+    ///   modelled exactly, but forwarding bytes depend on intermediate
+    ///   result sizes, which only [`Self::execute`] knows. For one- and
+    ///   two-keyword queries the bound is tight.
+    #[must_use]
+    pub fn model_probe(&self, query: &Query) -> u64 {
+        if query.words.len() < 2 {
+            return 0;
+        }
+        match self.policy {
+            AggregationPolicy::Intersection => {
+                // Same ordering rule as execute_intersection.
+                let mut order: Vec<WordId> = query.words.clone();
+                order.sort_unstable_by_key(|&w| (self.index.posting(w).len(), w));
+                let (a, b) = (order[0], order[1]);
+                if self.node_of(a) != self.node_of(b) {
+                    self.index.size_bytes(a)
+                } else {
+                    0
+                }
+            }
+            AggregationPolicy::Union => {
+                let host_word = *query
+                    .words
+                    .iter()
+                    .max_by_key(|&&w| (self.index.posting(w).len(), w))
+                    .expect("len >= 2");
+                let host = self.node_of(host_word);
+                query
+                    .words
+                    .iter()
+                    .filter(|&&w| self.node_of(w) != host)
+                    .map(|&w| self.index.size_bytes(w))
+                    .sum()
+            }
+        }
+    }
+
+    /// Sums [`Self::model_probe`] over a whole log — a placement-quality
+    /// estimate that costs O(total query words) instead of a full replay.
+    /// Exact under [`AggregationPolicy::Union`]; a lower bound on
+    /// [`ExecutionStats::total_bytes`] under
+    /// [`AggregationPolicy::Intersection`].
+    #[must_use]
+    pub fn probe_log(&self, log: &QueryLog) -> u64 {
+        log.iter().map(|q| self.model_probe(q)).sum()
+    }
+
     /// Replays a whole query log and aggregates the statistics.
     #[must_use]
     pub fn replay(&self, log: &QueryLog) -> ExecutionStats {
@@ -477,6 +533,75 @@ mod tests {
         let stats = engine.replay(&log);
         assert!(stats.hotspot().is_none());
         assert_eq!(stats.traffic_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn union_probe_is_exact() {
+        let f = fixture();
+        // Scatter keywords over 3 nodes and compare probe vs execution on
+        // every pairing of a sample of words.
+        let assignment: Vec<usize> = (0..f.vocab.len()).map(|w| w % 3).collect();
+        let cluster = Cluster::with_assignment(3, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Union);
+        let ws: Vec<WordId> = f.index.keywords().collect();
+        for (i, &a) in ws.iter().enumerate().take(6) {
+            for &b in ws.iter().skip(i + 1).take(6) {
+                let q = Query { words: vec![a, b] };
+                assert_eq!(engine.model_probe(&q), engine.execute(&q).comm_bytes);
+            }
+        }
+        let q3 = Query {
+            words: ws.iter().copied().take(5).collect(),
+        };
+        assert_eq!(engine.model_probe(&q3), engine.execute(&q3).comm_bytes);
+    }
+
+    #[test]
+    fn intersection_probe_lower_bounds_execution() {
+        let f = fixture();
+        let assignment: Vec<usize> = (0..f.vocab.len()).map(|w| w % 3).collect();
+        let cluster = Cluster::with_assignment(3, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        let ws: Vec<WordId> = f.index.keywords().collect();
+        // Two-keyword queries: the bound is tight.
+        for (i, &a) in ws.iter().enumerate().take(6) {
+            for &b in ws.iter().skip(i + 1).take(6) {
+                let q = Query { words: vec![a, b] };
+                assert_eq!(engine.model_probe(&q), engine.execute(&q).comm_bytes);
+            }
+        }
+        // Longer queries: never above the executed bytes.
+        let q = Query {
+            words: ws.iter().copied().take(5).collect(),
+        };
+        assert!(engine.model_probe(&q) <= engine.execute(&q).comm_bytes);
+        // Single keyword and empty queries probe to zero.
+        assert_eq!(engine.model_probe(&Query { words: vec![ws[0]] }), 0);
+        assert_eq!(engine.model_probe(&Query { words: vec![] }), 0);
+    }
+
+    #[test]
+    fn probe_log_matches_replay_under_union() {
+        let f = fixture();
+        let ws: Vec<WordId> = f.index.keywords().collect();
+        let assignment: Vec<usize> = (0..f.vocab.len()).map(|w| w % 2).collect();
+        let cluster = Cluster::with_assignment(2, &f.index, &assignment);
+        let engine = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Union);
+        let log = QueryLog {
+            queries: vec![
+                Query { words: vec![ws[0]] },
+                Query {
+                    words: vec![ws[0], ws[1]],
+                },
+                Query {
+                    words: ws.iter().copied().take(4).collect(),
+                },
+            ],
+            universe: f.vocab.len(),
+        };
+        assert_eq!(engine.probe_log(&log), engine.replay(&log).total_bytes);
+        let inter = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        assert!(inter.probe_log(&log) <= inter.replay(&log).total_bytes);
     }
 
     #[test]

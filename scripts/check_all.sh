@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs every check_*.sh suite in this directory, in a stable order, and
+# reports a one-line verdict per suite at the end. Fails if any suite
+# fails (but always runs them all, so one broken suite doesn't hide
+# another).
+#
+# Run from anywhere inside the repo:
+#   scripts/check_all.sh
+set -uo pipefail
+
+cd "$(dirname "$0")"
+
+suites=()
+for s in check_*.sh; do
+  [ "$s" = "check_all.sh" ] && continue
+  suites+=("$s")
+done
+
+declare -A verdict
+failed=0
+for s in "${suites[@]}"; do
+  echo
+  echo "==================== $s ===================="
+  if bash "$s"; then
+    verdict[$s]="OK"
+  else
+    verdict[$s]="FAILED"
+    failed=1
+  fi
+done
+
+echo
+echo "==================== summary ===================="
+for s in "${suites[@]}"; do
+  printf '%-28s %s\n' "$s" "${verdict[$s]}"
+done
+exit "$failed"

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Verifies the canonical CSR correlation-graph layer end to end:
+#   1. clippy is clean (-D warnings) on every crate the graph refactor
+#      touches (core, search, bench, the root crate);
+#   2. the graph unit tests and the exact-equality delta property suite
+#      pass (move_delta == full-recompute difference, multi-move and
+#      resync tracking, structural CSR invariants);
+#   3. the golden battery still passes — placements and cost bits must be
+#      unchanged by the graph refactor;
+#   4. the graph bench runs in quick mode (which itself asserts the >= 5x
+#      move-delta contract on the 10k Zipf instance and bit-identical
+#      cost folds) and writes a JSON baseline;
+#   5. the committed BENCH_graph.json exists and clears the contract.
+#
+# Run from anywhere inside the repo:
+#   scripts/check_graph.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== graph check: clippy -D warnings on touched crates =="
+cargo clippy -q -p cca-core -p cca-search -p cca-bench -p cca \
+  --all-targets -- -D warnings
+
+echo
+echo "== graph check: graph unit tests =="
+cargo test -q -p cca-core --lib graph
+
+echo
+echo "== graph check: exact-equality delta property suite =="
+cargo test -q -p cca-core --test graph_properties
+
+echo
+echo "== graph check: golden battery (placements/cost bits unchanged) =="
+cargo test -q -p cca-core --test golden
+
+echo
+echo "== graph check: quick bench smoke (asserts the >= 5x delta contract) =="
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+CCA_BENCH_QUICK=1 CCA_BENCH_OUT="$smoke_out" \
+  cargo bench -q -p cca-bench --bench placement_graph
+test -s "$smoke_out" || { echo "bench smoke wrote no JSON"; exit 1; }
+
+echo
+echo "== graph check: committed BENCH_graph.json =="
+test -f BENCH_graph.json || { echo "BENCH_graph.json is missing"; exit 1; }
+grep -q '"bench": "placement_graph"' BENCH_graph.json
+grep -q '"name": "zipf-10k"' BENCH_graph.json
+# The committed baseline must be a full (non-quick) run.
+grep -q '"quick": false' BENCH_graph.json || {
+  echo "BENCH_graph.json was written by a quick run; re-run: cargo bench -p cca-bench --bench placement_graph"
+  exit 1
+}
+
+echo
+echo "graph check: OK"

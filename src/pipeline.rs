@@ -231,6 +231,19 @@ impl Pipeline {
         engine.replay(&self.workload.queries)
     }
 
+    /// Estimates the replay bytes of a placement from metadata alone via
+    /// [`QueryEngine::model_probe`] — O(total query words), no posting
+    /// lists touched. Exact for [`AggregationPolicy::Union`] pipelines; a
+    /// lower bound on [`ExecutionStats::total_bytes`] for
+    /// [`AggregationPolicy::Intersection`]. Useful for ranking candidate
+    /// placements before paying for a full [`Pipeline::replay`].
+    #[must_use]
+    pub fn probe(&self, placement: &Placement) -> u64 {
+        let cluster = self.cluster_for(placement);
+        let engine = QueryEngine::new(&self.index, &cluster, self.config.aggregation);
+        engine.probe_log(&self.workload.queries)
+    }
+
     /// Builds a CCA problem with correlations re-estimated from a
     /// different query log (e.g. a drifted month) over this pipeline's
     /// corpus and index. The object table, sizes and capacities are
@@ -413,6 +426,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn probe_lower_bounds_replay() {
+        let p = tiny_pipeline();
+        for strategy in [Strategy::RandomHash, Strategy::Greedy] {
+            let report = p.place(&strategy, None).unwrap();
+            let probe = p.probe(&report.placement);
+            let replayed = p.replay(&report.placement).total_bytes;
+            assert!(
+                probe <= replayed,
+                "probe {probe} exceeded replayed bytes {replayed}"
+            );
+        }
+        // And the probe still separates good from bad placements.
+        let random = p.place(&Strategy::RandomHash, None).unwrap();
+        let greedy = p.place(&Strategy::Greedy, None).unwrap();
+        assert!(p.probe(&greedy.placement) <= p.probe(&random.placement));
+    }
+
+    #[test]
+    fn union_pipeline_probe_is_exact() {
+        let mut cfg = PipelineConfig::new(TraceConfig::tiny(), 3);
+        cfg.seed = 11;
+        cfg.correlation = CorrelationMode::LargestRest;
+        cfg.aggregation = AggregationPolicy::Union;
+        let p = Pipeline::build(&cfg);
+        let report = p.place(&Strategy::Greedy, None).unwrap();
+        assert_eq!(
+            p.probe(&report.placement),
+            p.replay(&report.placement).total_bytes
+        );
     }
 
     #[test]
