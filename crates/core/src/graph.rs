@@ -82,12 +82,196 @@ pub struct CorrelationGraph {
     // Total orders over EdgeId (unique (a, b) tie-break).
     by_correlation: Vec<EdgeId>,
     by_weight: Vec<EdgeId>,
+    // Every edge weight is > 0.0 — lets the batched kernel run its
+    // branchless (vectorizable) inner loop, whose only bit deviation from
+    // the serial fold (`+0.0` where a split-free candidate should read
+    // `-0.0`) is then detectable from the sum alone and fixed up exactly.
+    positive_weights: bool,
 }
 
 /// Rows per fixed chunk of [`CorrelationGraph::cost_chunked`]. Chunk
 /// boundaries depend only on the object count — never on the thread count
 /// — so the chunked sum is invariant across `threads`.
 const COST_CHUNK_ROWS: usize = 256;
+
+/// Edges per fixed chunk of [`CorrelationGraph::cost_batch_chunked`].
+/// Chunk boundaries depend only on the edge count — never on the thread
+/// count — so the chunked batch sums are invariant across `threads`.
+const BATCH_CHUNK_EDGES: usize = 4096;
+
+/// A batch of k candidate placements laid out structure-of-arrays: one
+/// `Vec<u32>` assignment column per candidate, all over the same object
+/// universe and node count.
+///
+/// This is the input to the batched evaluation kernels
+/// ([`CorrelationGraph::cost_batch`] and
+/// [`CorrelationGraph::cost_batch_chunked`]): one walk of the CSR edge
+/// columns scores every candidate, reading each edge's endpoints and
+/// weight once instead of once per candidate. See DESIGN.md §10 for the
+/// batched-evaluation contract.
+#[derive(Debug, Clone)]
+pub struct PlacementBatch {
+    num_objects: usize,
+    num_nodes: usize,
+    columns: Vec<Vec<u32>>,
+    // Lazily built object-major interleave of the columns (see
+    // `interleaved`), cached so a batch scored repeatedly pays the
+    // transpose once. Invalidated by `push`; excluded from equality.
+    rows: std::sync::OnceLock<InterleavedRows>,
+}
+
+impl PartialEq for PlacementBatch {
+    fn eq(&self, other: &PlacementBatch) -> bool {
+        self.num_objects == other.num_objects
+            && self.num_nodes == other.num_nodes
+            && self.columns == other.columns
+    }
+}
+
+impl Eq for PlacementBatch {}
+
+impl PlacementBatch {
+    /// An empty batch over `num_objects` objects and `num_nodes` nodes.
+    #[must_use]
+    pub fn new(num_objects: usize, num_nodes: usize) -> PlacementBatch {
+        PlacementBatch {
+            num_objects,
+            num_nodes,
+            columns: Vec::new(),
+            rows: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Builds a batch from candidate placements, in slice order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placements` is empty (the object/node universe would be
+    /// undefined) or if the candidates disagree on object or node counts.
+    #[must_use]
+    pub fn from_placements(placements: &[Placement]) -> PlacementBatch {
+        let first = placements
+            .first()
+            .expect("a batch needs at least one placement to fix its dimensions");
+        let mut batch = PlacementBatch::new(first.num_objects(), first.num_nodes());
+        for p in placements {
+            batch.push(p);
+        }
+        batch
+    }
+
+    /// Appends `placement` as the next candidate column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` disagrees with the batch's object or node
+    /// counts.
+    pub fn push(&mut self, placement: &Placement) {
+        assert_eq!(
+            placement.num_objects(),
+            self.num_objects,
+            "batch candidates must cover the same objects"
+        );
+        assert_eq!(
+            placement.num_nodes(),
+            self.num_nodes,
+            "batch candidates must share the node count"
+        );
+        self.columns.push(placement.as_slice().to_vec());
+        self.rows.take();
+    }
+
+    /// Number of candidates k in the batch.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the batch holds no candidates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Number of objects each candidate covers.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of nodes each candidate places onto.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The assignment column of candidate `c` (`column[i]` is the node of
+    /// object `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= width()`.
+    #[must_use]
+    pub fn column(&self, c: usize) -> &[u32] {
+        &self.columns[c]
+    }
+
+    /// Candidate `c` rebuilt as an owned [`Placement`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= width()`.
+    #[must_use]
+    pub fn placement(&self, c: usize) -> Placement {
+        Placement::new(self.columns[c].clone(), self.num_nodes)
+    }
+
+    /// Object-major interleaved copy of the columns: entry `i * k + c` is
+    /// candidate `c`'s node for object `i`, so an edge walk touches two
+    /// contiguous k-wide rows per edge instead of k scattered columns.
+    /// Ids are stored as floats so the kernel's compare-and-select runs
+    /// entirely in the floating domain — the inequality mask is born lane-
+    /// width, with no integer-to-float mask widening on the baseline
+    /// (SSE2) target. Node ids below `2^24` map to `f32` exactly (halving
+    /// row traffic and keeping the random row reads cache-resident);
+    /// larger ids fall back to `f64`, which is exact for every `u32`.
+    /// Either map is injective, so lane equality — all the kernel reads —
+    /// is unchanged. Pure layout either way: the per-candidate fold order
+    /// is untouched. Built on first use and cached until the next `push`,
+    /// so re-scoring the same batch pays the transpose once.
+    fn interleaved(&self) -> &InterleavedRows {
+        self.rows.get_or_init(|| {
+            if self.num_nodes <= 1 << 24 {
+                InterleavedRows::Narrow(self.transpose(|node| node as f32))
+            } else {
+                InterleavedRows::Wide(self.transpose(f64::from))
+            }
+        })
+    }
+
+    /// The object-major transpose behind [`PlacementBatch::interleaved`]:
+    /// objects outer, candidates inner, so writes are strictly sequential
+    /// and reads stream k columns in parallel.
+    fn transpose<T: Copy + Default>(&self, map: impl Fn(u32) -> T) -> Vec<T> {
+        let k = self.columns.len();
+        let mut rows = vec![T::default(); self.num_objects * k];
+        for (i, stripe) in rows.chunks_exact_mut(k.max(1)).enumerate() {
+            for (slot, col) in stripe.iter_mut().zip(&self.columns) {
+                *slot = map(col[i]);
+            }
+        }
+        rows
+    }
+}
+
+/// The cached interleaved stripe store of a [`PlacementBatch`]: node ids
+/// narrow to `f32` whenever the node count keeps that exact (`< 2^24`),
+/// falling back to `f64` (exact for every `u32` id).
+#[derive(Debug, Clone)]
+enum InterleavedRows {
+    Narrow(Vec<f32>),
+    Wide(Vec<f64>),
+}
 
 impl CorrelationGraph {
     /// Builds the CSR view over `pairs` for `num_objects` objects.
@@ -169,6 +353,7 @@ impl CorrelationGraph {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then((edge_a[x.index()], edge_b[x.index()]).cmp(&(edge_a[y.index()], edge_b[y.index()])))
         });
+        let positive_weights = edge_weight.iter().all(|&w| w > 0.0);
         CorrelationGraph {
             num_objects,
             edge_a,
@@ -181,6 +366,7 @@ impl CorrelationGraph {
             weighted_degree,
             by_correlation,
             by_weight,
+            positive_weights,
         }
     }
 
@@ -348,6 +534,253 @@ impl CorrelationGraph {
         delta
     }
 
+    /// Scores every candidate of `batch` in a **single** walk of the CSR
+    /// edge columns: the outer loop runs over edges in [`EdgeId`] order,
+    /// the inner loop over candidate columns, so each edge's endpoints and
+    /// weight are read once for all k candidates.
+    ///
+    /// Column `c` of the result is **bit-identical** to
+    /// `cost(batch.placement(c))`: each accumulator starts at `sum`'s
+    /// `-0.0` identity and folds exactly the weights the serial
+    /// `filter · map · sum` walk folds, in the same EdgeId order. In
+    /// particular a batch of 1 equals [`CorrelationGraph::cost`], and
+    /// reordering the batch permutes the result identically — batch
+    /// membership never changes any candidate's score. An empty batch
+    /// yields an empty vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch covers fewer objects than the graph.
+    #[must_use]
+    pub fn cost_batch(&self, batch: &PlacementBatch) -> Vec<f64> {
+        let k = batch.width();
+        // `sum`'s identity is -0.0, so an all-colocated candidate scores
+        // the same bits as the serial walk.
+        let mut acc = vec![-0.0f64; k];
+        if k == 0 {
+            return acc;
+        }
+        let m = self.edge_weight.len();
+        match batch.interleaved() {
+            InterleavedRows::Narrow(rows) => self.batch_edge_walk(rows, k, 0, m, &mut acc),
+            InterleavedRows::Wide(rows) => self.batch_edge_walk(rows, k, 0, m, &mut acc),
+        }
+        acc
+    }
+
+    /// The shared batched edge loop over `[start, end)` in [`EdgeId`]
+    /// order, accumulating into `acc` (one `-0.0`-initialised entry per
+    /// candidate). `rows` is the batch's object-major interleaved layout:
+    /// both endpoint rows of an edge are contiguous k-wide stripes, read
+    /// once for all candidates.
+    ///
+    /// With strictly positive edge weights the inner loop is branchless
+    /// (`+= w` or `+= 0.0` by select), which lets the compiler vectorise
+    /// across candidates. Adding `+0.0` for non-split edges perturbs a
+    /// serial fold's bits in exactly one place — a candidate that never
+    /// splits reads `+0.0` instead of the fold identity `-0.0` — and with
+    /// `w > 0` everywhere "never split" is equivalent to "sum is ±0", so
+    /// the trailing fix-up restores `-0.0` exactly. Graphs carrying
+    /// zero-weight edges take the branchy scalar loop instead, which
+    /// reproduces the serial fold sequence verbatim.
+    fn batch_edge_walk<T: Copy + PartialEq>(
+        &self,
+        rows: &[T],
+        k: usize,
+        start: usize,
+        end: usize,
+        acc: &mut [f64],
+    ) {
+        if self.positive_weights {
+            // Monomorphise the hot widths: a compile-time K fully unrolls
+            // the lane loop, keeps the K accumulators in registers, and
+            // elides every per-lane bounds check. Other widths take the
+            // dynamic-width loop, whose per-edge overhead amortises as k
+            // grows.
+            match k {
+                1 => self.walk_const::<1, T>(rows, start, end, acc),
+                2 => self.walk_const::<2, T>(rows, start, end, acc),
+                4 => self.walk_const::<4, T>(rows, start, end, acc),
+                8 => self.walk_const::<8, T>(rows, start, end, acc),
+                16 => self.walk_const::<16, T>(rows, start, end, acc),
+                _ => self.walk_dyn(rows, k, start, end, acc),
+            }
+            for s in acc.iter_mut() {
+                if *s == 0.0 {
+                    *s = -0.0;
+                }
+            }
+        } else {
+            let edges = self.edge_a[start..end]
+                .iter()
+                .zip(&self.edge_b[start..end])
+                .zip(&self.edge_weight[start..end]);
+            for ((&a, &b), &w) in edges {
+                let ra = &rows[a.index() * k..][..k];
+                let rb = &rows[b.index() * k..][..k];
+                for ((s, &x), &y) in acc.iter_mut().zip(ra).zip(rb) {
+                    if x != y {
+                        *s += w;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The positive-weight select-add walk at compile-time width `K`:
+    /// `K` independent accumulator lanes held in a local array (register-
+    /// resident for the widths dispatched above), unrolled per edge.
+    /// Assumes `acc` is `-0.0`-initialised and overwrites its first `K`
+    /// entries with the folded lanes.
+    fn walk_const<const K: usize, T: Copy + PartialEq>(
+        &self,
+        rows: &[T],
+        start: usize,
+        end: usize,
+        acc: &mut [f64],
+    ) {
+        let mut local = [-0.0f64; K];
+        let edges = self.edge_a[start..end]
+            .iter()
+            .zip(&self.edge_b[start..end])
+            .zip(&self.edge_weight[start..end]);
+        for ((&a, &b), &w) in edges {
+            let ra = &rows[a.index() * K..][..K];
+            let rb = &rows[b.index() * K..][..K];
+            // Two passes — compare all K lanes, then select-add — so the
+            // compiler compares whole stripes at once instead of weaving
+            // narrow element compares into the f64 adds.
+            let mut split = [false; K];
+            for j in 0..K {
+                split[j] = ra[j] != rb[j];
+            }
+            for j in 0..K {
+                local[j] += if split[j] { w } else { 0.0 };
+            }
+        }
+        acc[..K].copy_from_slice(&local);
+    }
+
+    /// The positive-weight select-add walk at runtime width `k`, in
+    /// bounds-check-free 4-lane tiles plus a remainder loop.
+    fn walk_dyn<T: Copy + PartialEq>(
+        &self,
+        rows: &[T],
+        k: usize,
+        start: usize,
+        end: usize,
+        acc: &mut [f64],
+    ) {
+        let acc = &mut acc[..k];
+        let edges = self.edge_a[start..end]
+            .iter()
+            .zip(&self.edge_b[start..end])
+            .zip(&self.edge_weight[start..end]);
+        for ((&a, &b), &w) in edges {
+            let ra = &rows[a.index() * k..][..k];
+            let rb = &rows[b.index() * k..][..k];
+            let tiles = acc
+                .chunks_exact_mut(4)
+                .zip(ra.chunks_exact(4))
+                .zip(rb.chunks_exact(4));
+            for ((av, xv), yv) in tiles {
+                for j in 0..4 {
+                    av[j] += if xv[j] != yv[j] { w } else { 0.0 };
+                }
+            }
+            let rest = k - k % 4;
+            for ((s, &x), &y) in acc[rest..].iter_mut().zip(&ra[rest..]).zip(&rb[rest..]) {
+                *s += if x != y { w } else { 0.0 };
+            }
+        }
+    }
+
+    /// [`CorrelationGraph::cost_batch`] evaluated in parallel over fixed
+    /// edge chunks (`BATCH_CHUNK_EDGES` edges each), with per-chunk
+    /// per-candidate partials reduced in chunk order.
+    ///
+    /// The result is identical for every `threads` value (chunk boundaries
+    /// depend only on the edge count), and on instances with at most one
+    /// chunk it is bit-identical to the serial [`CorrelationGraph::cost_batch`]
+    /// (each partial starts at the `-0.0` identity). On larger instances
+    /// the chunked reduction is a *different associativity* than the
+    /// serial walk, so — exactly like [`CorrelationGraph::cost_chunked`] —
+    /// solver-reported costs stay on the serial batch walk; use this for
+    /// bulk re-evaluation where thread invariance suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch covers fewer objects than the graph.
+    #[must_use]
+    pub fn cost_batch_chunked(&self, batch: &PlacementBatch, threads: usize) -> Vec<f64> {
+        let k = batch.width();
+        if k == 0 {
+            return Vec::new();
+        }
+        let m = self.edge_weight.len();
+        let chunks = m.div_ceil(BATCH_CHUNK_EDGES).max(1);
+        let rows = batch.interleaved();
+        let partials = cca_par::par_map_indexed(threads, chunks, |c| {
+            let start = c * BATCH_CHUNK_EDGES;
+            let end = (start + BATCH_CHUNK_EDGES).min(m);
+            let mut acc = vec![-0.0f64; k];
+            match rows {
+                InterleavedRows::Narrow(r) => self.batch_edge_walk(r, k, start, end, &mut acc),
+                InterleavedRows::Wide(r) => self.batch_edge_walk(r, k, start, end, &mut acc),
+            }
+            acc
+        });
+        // Reduce per candidate in chunk (index) order.
+        let mut totals = vec![-0.0f64; k];
+        for partial in partials {
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t += p;
+            }
+        }
+        totals
+    }
+
+    /// [`CorrelationGraph::move_delta`] for every target in `targets`, in
+    /// a **single** walk of `i`'s CSR row: each neighbour's node is looked
+    /// up once and folded into all k target accumulators.
+    ///
+    /// Entry `t` of the result is **bit-identical** to
+    /// `move_delta(placement, i, targets[t])`: each accumulator starts at
+    /// `0.0` and adds/subtracts exactly the weights the per-target walk
+    /// does, in the same row order (`targets[t] == src` yields exactly
+    /// `0.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn move_delta_batch(
+        &self,
+        placement: &Placement,
+        i: ObjectId,
+        targets: &[usize],
+    ) -> Vec<f64> {
+        let src = placement.node_of(i);
+        let mut deltas = vec![0.0f64; targets.len()];
+        if targets.iter().all(|&t| t == src) {
+            return deltas;
+        }
+        for (other, w) in self.neighbors(i) {
+            let on = placement.node_of(other);
+            for (d, &t) in deltas.iter_mut().zip(targets) {
+                if t == src {
+                    continue;
+                }
+                if on == src {
+                    *d += w;
+                } else if on == t {
+                    *d -= w;
+                }
+            }
+        }
+        deltas
+    }
+
     /// [`CorrelationGraph::cost`] evaluated in parallel over fixed chunks
     /// of CSR row ranges (each edge counted at its smaller endpoint), with
     /// per-chunk partials reduced in chunk order.
@@ -421,6 +854,14 @@ impl<'g> IncrementalCost<'g> {
     #[must_use]
     pub fn delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
         self.graph.move_delta(placement, i, target)
+    }
+
+    /// Cost changes of moving `i` to each of `targets`, from one walk of
+    /// `i`'s row (see [`CorrelationGraph::move_delta_batch`]); entry `t`
+    /// bit-equals `delta(placement, i, targets[t])`.
+    #[must_use]
+    pub fn delta_batch(&self, placement: &Placement, i: ObjectId, targets: &[usize]) -> Vec<f64> {
+        self.graph.move_delta_batch(placement, i, targets)
     }
 
     /// Applies the move `i → target` to `placement` and folds its delta
@@ -580,6 +1021,90 @@ mod tests {
         assert_eq!(inc.cost().to_bits(), g.cost(&pl).to_bits());
         inc.resync(&pl);
         assert_eq!(inc.cost(), 1.0);
+    }
+
+    #[test]
+    fn cost_batch_columns_bit_equal_serial_cost() {
+        let p = problem();
+        let g = p.graph();
+        let candidates = vec![
+            Placement::new(vec![0, 0, 0, 0], 2),
+            Placement::new(vec![0, 1, 0, 1], 2),
+            Placement::new(vec![0, 0, 1, 1], 2),
+            Placement::new(vec![1, 0, 0, 1], 2),
+        ];
+        let batch = PlacementBatch::from_placements(&candidates);
+        assert_eq!(batch.width(), 4);
+        let costs = g.cost_batch(&batch);
+        for (c, pl) in candidates.iter().enumerate() {
+            assert_eq!(costs[c].to_bits(), g.cost(pl).to_bits(), "column {c}");
+        }
+        // Batch of 1 ≡ cost, including the all-colocated -0.0 identity.
+        let one = PlacementBatch::from_placements(&candidates[..1]);
+        assert_eq!(g.cost_batch(&one)[0].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn cost_batch_chunked_is_thread_invariant() {
+        let p = problem();
+        let g = p.graph();
+        let batch = PlacementBatch::from_placements(&[
+            Placement::new(vec![0, 1, 0, 1], 2),
+            Placement::new(vec![1, 1, 0, 0], 2),
+        ]);
+        let serial = g.cost_batch(&batch);
+        for threads in [1, 2, 3, 8] {
+            let chunked = g.cost_batch_chunked(&batch, threads);
+            for c in 0..batch.width() {
+                // Small instance: one edge chunk, so the chunked walk even
+                // matches the serial batch bit for bit.
+                assert_eq!(chunked[c].to_bits(), serial[c].to_bits(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn move_delta_batch_bit_equals_per_target_deltas() {
+        let p = problem();
+        let g = p.graph();
+        let pl = Placement::new(vec![0, 1, 0, 1], 2);
+        let targets = [0usize, 1];
+        for i in 0..4u32 {
+            let deltas = g.move_delta_batch(&pl, ObjectId(i), &targets);
+            for (t, &k) in targets.iter().enumerate() {
+                assert_eq!(
+                    deltas[t].to_bits(),
+                    g.move_delta(&pl, ObjectId(i), k).to_bits(),
+                    "obj {i} -> node {k}"
+                );
+            }
+        }
+        // All targets == src short-circuits to exact zeros.
+        let src = pl.node_of(ObjectId(0));
+        assert_eq!(g.move_delta_batch(&pl, ObjectId(0), &[src, src]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_batch_scores_nothing() {
+        let p = problem();
+        let g = p.graph();
+        let batch = PlacementBatch::new(p.num_objects(), 2);
+        assert!(batch.is_empty());
+        assert!(g.cost_batch(&batch).is_empty());
+        assert!(g.cost_batch_chunked(&batch, 4).is_empty());
+        let pl = Placement::new(vec![0, 1, 0, 1], 2);
+        assert!(g.move_delta_batch(&pl, ObjectId(0), &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_round_trips_placements() {
+        let pl = Placement::new(vec![1, 0, 1, 0], 2);
+        let mut batch = PlacementBatch::new(4, 2);
+        batch.push(&pl);
+        assert_eq!(batch.num_objects(), 4);
+        assert_eq!(batch.num_nodes(), 2);
+        assert_eq!(batch.column(0), pl.as_slice());
+        assert_eq!(batch.placement(0), pl);
     }
 
     #[test]

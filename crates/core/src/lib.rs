@@ -83,7 +83,7 @@ pub use audit::{audit_placement, CapacityViolation, PlacementAudit, SplitPair};
 pub use cluster::{capacity_bounded_clusters, inter_cluster_weight};
 pub use exact::{exact_placement, ExactOptions};
 pub use fractional::FractionalPlacement;
-pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost};
+pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost, PlacementBatch};
 pub use greedy::greedy_placement;
 pub use migrate::{drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome};
 pub use persist::{format_placement, read_placement, write_placement};
@@ -102,6 +102,9 @@ pub use resilience::{
 };
 pub use resources::{Resource, ResourceError};
 pub use error::{CcaError, PlaceError};
-pub use rounding::{round_best_of, round_best_of_within, round_once, round_samples, RoundingOutcome};
+pub use rounding::{
+    round_best_of, round_best_of_within, round_once, round_samples, round_samples_scored,
+    RoundingOutcome,
+};
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
 pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

@@ -322,17 +322,20 @@ pub fn improve_in_place(
     let mut moves = 0usize;
     let mut migrated = 0u64;
 
+    let mut fitting: Vec<usize> = Vec::with_capacity(n);
     for _ in 0..options.max_sweeps.max(1) {
         let mut improved = false;
         for o in problem.objects() {
             let src = placement.node_of(o);
             let price = options.migration_price_per_byte * problem.size(o) as f64;
+            // One walk of o's CSR row scores every fitting target at once;
+            // deltas are bit-identical to the per-target walks, and the
+            // ascending-k strict-< selection below picks the same winner.
+            fitting.clear();
+            fitting.extend((0..n).filter(|&k| k != src && loads.fits(k, o)));
+            let deltas = inc.delta_batch(&placement, o, &fitting);
             let mut best: Option<(f64, usize)> = None;
-            for k in 0..n {
-                if k == src || !loads.fits(k, o) {
-                    continue;
-                }
-                let delta = inc.delta(&placement, o, k);
+            for (&k, &delta) in fitting.iter().zip(&deltas) {
                 // Must beat the migration price strictly.
                 if delta + price < -1e-12 && best.is_none_or(|(bd, _)| delta < bd) {
                     best = Some((delta, k));
@@ -473,17 +476,23 @@ pub fn drain_node(
             continue;
         }
         // Fragmented: per-object fallback, cheapest Δcost first; give up
-        // (returning None) when an object fits nowhere.
+        // (returning None) when an object fits nowhere. One row walk
+        // scores all fitting survivors (each delta bit-equal to its
+        // per-target walk), replacing the min_by's rescan per comparison.
         for &o in &group {
-            let target = (0..n)
+            let fitting: Vec<usize> = (0..n)
                 .filter(|&k| k != node && loads.fits(k, o))
-                .min_by(|&a, &b| {
-                    graph
-                        .move_delta(&placement, o, a)
-                        .partial_cmp(&graph.move_delta(&placement, o, b))
+                .collect();
+            let deltas = graph.move_delta_batch(&placement, o, &fitting);
+            let target = *fitting
+                .iter()
+                .zip(&deltas)
+                .min_by(|(a, da), (b, db)| {
+                    da.partial_cmp(db)
                         .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                })?;
+                        .then(a.cmp(b))
+                })
+                .map(|(k, _)| k)?;
             loads.apply(o, node, target);
             placement.assign(o, target);
             migrated += problem.size(o);

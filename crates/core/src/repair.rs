@@ -53,10 +53,11 @@ struct Repairer<'a> {
 }
 
 impl Repairer<'_> {
-    /// Cost change of moving object `i` to node `target` (negative is an
-    /// improvement) — one O(deg) CSR row walk.
-    fn move_delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
-        self.graph.move_delta(placement, i, target)
+    /// Cost changes of moving object `i` to each node in `targets`
+    /// (negative is an improvement) — one O(deg) CSR row walk scores them
+    /// all, each entry bit-equal to the per-target walk.
+    fn move_delta_batch(&self, placement: &Placement, i: ObjectId, targets: &[usize]) -> Vec<f64> {
+        self.graph.move_delta_batch(placement, i, targets)
     }
 
     fn fits(&self, node: usize, extra: &[f64]) -> bool {
@@ -178,8 +179,11 @@ impl Repairer<'_> {
             return Ok(true);
         }
 
-        // Candidate 2: single-object eviction by Δcost per byte.
+        // Candidate 2: single-object eviction by Δcost per byte. One CSR
+        // row walk per object scores all its fitting targets; ascending-k
+        // strict-< selection is unchanged.
         let mut best: Option<(f64, ObjectId, usize)> = None;
+        let mut fitting: Vec<usize> = Vec::with_capacity(n);
         for i in self.problem.objects() {
             if placement.node_of(i) != src {
                 continue;
@@ -188,11 +192,11 @@ impl Repairer<'_> {
             if demand.iter().all(|&d| d == 0.0) {
                 continue;
             }
-            for k in 0..n {
-                if k == src || !self.fits(k, demand) {
-                    continue;
-                }
-                let score = self.move_delta(placement, i, k) / demand[0].max(1.0);
+            fitting.clear();
+            fitting.extend((0..n).filter(|&k| k != src && self.fits(k, demand)));
+            let deltas = self.move_delta_batch(placement, i, &fitting);
+            for (&k, &delta) in fitting.iter().zip(&deltas) {
+                let score = delta / demand[0].max(1.0);
                 if best.is_none_or(|(bs, _, _)| score < bs) {
                     best = Some((score, i, k));
                 }
@@ -211,15 +215,17 @@ impl Repairer<'_> {
     fn improvement_sweep(&mut self, placement: &mut Placement) -> usize {
         let n = self.problem.num_nodes();
         let mut improved = 0;
+        let mut fitting: Vec<usize> = Vec::with_capacity(n);
         for i in self.problem.objects() {
             let src = placement.node_of(i);
             let demand = self.demands[i.index()].clone();
+            // One row walk scores every fitting target (bit-equal per
+            // entry), with the same ascending-k strict-< winner.
+            fitting.clear();
+            fitting.extend((0..n).filter(|&k| k != src && self.fits(k, &demand)));
+            let deltas = self.move_delta_batch(placement, i, &fitting);
             let mut best: Option<(f64, usize)> = None;
-            for k in 0..n {
-                if k == src || !self.fits(k, &demand) {
-                    continue;
-                }
-                let delta = self.move_delta(placement, i, k);
+            for (&k, &delta) in fitting.iter().zip(&deltas) {
                 if delta < -1e-12 && best.is_none_or(|(bd, _)| delta < bd) {
                     best = Some((delta, k));
                 }

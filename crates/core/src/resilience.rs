@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use crate::audit::{audit_placement, PlacementAudit};
 use crate::error::CcaError;
+use crate::graph::PlacementBatch;
 use crate::greedy::greedy_placement;
 use crate::migrate::{improve_in_place, migration_bytes, MigrateOptions};
 use crate::placement::Placement;
@@ -429,6 +430,30 @@ pub fn solve_resilient_with_faults(
         Vec::new()
     };
 
+    // With threads > 1 every eager attempt's placement is ranked by ONE
+    // batched CSR walk instead of a full edge scan per rung; column j is
+    // bit-identical to the per-candidate `communication_cost` walk, so the
+    // ladder selection below is unchanged.
+    let mut rung_costs: Vec<Option<f64>> = vec![None; window.len()];
+    if options.threads > 1 {
+        let mut batch = PlacementBatch::new(problem.num_objects(), problem.num_nodes());
+        let mut slots: Vec<Option<usize>> = vec![None; window.len()];
+        for (i, (_, attempt)) in computed.iter().enumerate() {
+            if let Some(Attempt { result: Ok(p), .. }) = attempt {
+                slots[i] = Some(batch.width());
+                batch.push(p);
+            }
+        }
+        if !batch.is_empty() {
+            let costs = problem.graph().cost_batch(&batch);
+            for (i, slot) in slots.into_iter().enumerate() {
+                if let Some(j) = slot {
+                    rung_costs[i] = Some(costs[j]);
+                }
+            }
+        }
+    }
+
     for (i, &rung) in window.iter().enumerate() {
         let serial_slot;
         if let Some((_, _, _, true)) = best {
@@ -476,7 +501,9 @@ pub fn solve_resilient_with_faults(
             &serial_slot
         };
         if let Ok(p) = &attempt.result {
-            let cost = p.communication_cost(problem);
+            // Parallel rungs were scored by the batch walk above; lazy
+            // serial attempts pay their own single-candidate walk.
+            let cost = rung_costs[i].unwrap_or_else(|| p.communication_cost(problem));
             let feasible = p.within_all_capacities(problem, 1.0);
             let replace = match &best {
                 None => true,
@@ -515,7 +542,11 @@ pub fn solve_resilient_with_faults(
             floor_overridden = true;
             let t = Instant::now();
             let p = random_hash_placement(problem);
-            let cost = p.communication_cost(problem);
+            // Batch-of-1 ≡ `cost` (DESIGN §10), so the emergency candidate
+            // goes through the same batched ranking path as the rungs.
+            let cost = problem
+                .graph()
+                .cost_batch(&PlacementBatch::from_placements(std::slice::from_ref(&p)))[0];
             let feasible = p.within_all_capacities(problem, 1.0);
             attempts.push(RungAttempt {
                 rung: Rung::Hash,

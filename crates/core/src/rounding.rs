@@ -16,6 +16,7 @@
 
 use crate::error::CcaError;
 use crate::fractional::FractionalPlacement;
+use crate::graph::PlacementBatch;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
 use cca_par::{par_map_indexed, DeadlineGate};
@@ -216,17 +217,29 @@ pub fn round_best_of_within(
             let mut rng = family.stream(i as u64);
             Some(round_unchecked(fractional, &mut rng))
         });
-    let mut best: Option<(bool, f64, f64, Placement)> = None;
-    let mut performed = 0usize;
-    // Reduce strictly in repetition-index order: with a fixed seed the
-    // selection below is a pure function of the candidate list, so thread
-    // scheduling cannot influence which placement wins.
+    // Collect survivors strictly in repetition-index order: with a fixed
+    // seed the selection below is a pure function of the candidate list,
+    // so thread scheduling cannot influence which placement wins.
+    let mut produced: Vec<Placement> = Vec::with_capacity(repetitions);
     for candidate in candidates.into_iter().flatten() {
-        let p = candidate?;
-        performed += 1;
-        let cost = p.communication_cost(problem);
+        produced.push(candidate?);
+    }
+    // The gate also guards scoring: a k-wide batch cost walk must not
+    // *start* after the deadline trips (the same sticky-atomic contract
+    // that gates repetition generation). Only the exempt first candidate
+    // is kept and scored late.
+    if produced.len() > 1 && gate.expired() {
+        produced.truncate(1);
+    }
+    // One CSR edge walk scores every surviving candidate; column i is
+    // bit-identical to `produced[i].communication_cost(problem)`.
+    let costs = problem.graph().cost_batch(&PlacementBatch::from_placements(&produced));
+    let performed = produced.len();
+    let mut best: Option<(bool, f64, f64, usize)> = None;
+    for (idx, p) in produced.iter().enumerate() {
+        let cost = costs[idx];
         let feasible = p.within_all_capacities(problem, capacity_slack);
-        let ratio = max_load_ratio(problem, &p);
+        let ratio = max_load_ratio(problem, p);
         let better = match &best {
             None => true,
             Some((bf, bc, br, _)) => match (feasible, *bf) {
@@ -239,10 +252,11 @@ pub fn round_best_of_within(
             },
         };
         if better {
-            best = Some((feasible, cost, ratio, p));
+            best = Some((feasible, cost, ratio, idx));
         }
     }
-    let (within_capacity, cost, max_load_ratio, placement) = best.expect("repetition 0 runs");
+    let (within_capacity, cost, max_load_ratio, best_idx) = best.expect("repetition 0 runs");
+    let placement = produced.swap_remove(best_idx);
     Ok(RoundingOutcome {
         placement,
         cost,
@@ -279,6 +293,47 @@ pub fn round_samples(
     })
     .into_iter()
     .collect()
+}
+
+/// [`round_samples`] plus a cost per sample from **one** batched CSR walk
+/// (`crate::CorrelationGraph::cost_batch`) instead of a full edge scan per
+/// sample. `costs[i]` is bit-identical to
+/// `samples[i].communication_cost(problem)`, and the samples are the same
+/// thread-invariant vector [`round_samples`] returns.
+///
+/// # Errors
+///
+/// [`CcaError::DimensionMismatch`] if `fractional` and `problem` disagree
+/// on dimensions, plus anything [`round_samples`] reports.
+pub fn round_samples_scored(
+    fractional: &FractionalPlacement,
+    problem: &CcaProblem,
+    repetitions: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<(Vec<Placement>, Vec<f64>), CcaError> {
+    if fractional.num_objects() != problem.num_objects() {
+        return Err(CcaError::DimensionMismatch {
+            what: "object count",
+            expected: problem.num_objects(),
+            actual: fractional.num_objects(),
+        });
+    }
+    if fractional.num_nodes() != problem.num_nodes() {
+        return Err(CcaError::DimensionMismatch {
+            what: "node count",
+            expected: problem.num_nodes(),
+            actual: fractional.num_nodes(),
+        });
+    }
+    let samples = round_samples(fractional, repetitions, seed, threads)?;
+    if samples.is_empty() {
+        return Ok((samples, Vec::new()));
+    }
+    let costs = problem
+        .graph()
+        .cost_batch(&PlacementBatch::from_placements(&samples));
+    Ok((samples, costs))
 }
 
 #[cfg(test)]
@@ -523,6 +578,24 @@ mod tests {
         for threads in [2, 8] {
             let par = round_samples(&f, 100, 42, threads).unwrap();
             assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scored_samples_match_per_sample_costs() {
+        let mut b = CcaProblem::builder();
+        let o0 = b.add_object("a", 10);
+        let o1 = b.add_object("b", 10);
+        b.add_pair(o0, o1, 1.0, 5.0).unwrap();
+        let p = b.uniform_capacities(2, 20).build().unwrap();
+        let f = frac(vec![0.7, 0.3, 0.3, 0.7], 2, 2);
+        for threads in [1, 4] {
+            let (samples, costs) = round_samples_scored(&f, &p, 40, 42, threads).unwrap();
+            assert_eq!(samples, round_samples(&f, 40, 42, threads).unwrap());
+            assert_eq!(costs.len(), samples.len());
+            for (s, c) in samples.iter().zip(&costs) {
+                assert_eq!(c.to_bits(), s.communication_cost(&p).to_bits());
+            }
         }
     }
 

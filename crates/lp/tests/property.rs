@@ -144,9 +144,9 @@ fn strong_duality_holds() {
                     .map(|&(_, rhs, _)| f64::from(rhs))
                     .collect();
                 let mut dual_obj = 0.0;
-                for r in 0..model.num_constraints() {
-                    // Row handles are dense indices by construction.
-                    dual_obj += sol.duals[r] * kept_rhs[r];
+                // Row handles are dense indices by construction.
+                for (rhs, dual) in kept_rhs.iter().zip(&sol.duals).take(model.num_constraints()) {
+                    dual_obj += dual * rhs;
                 }
                 let scale = 1.0 + sol.objective.abs();
                 prop_assert!(

@@ -120,6 +120,48 @@ impl ExecutionStats {
     }
 }
 
+/// The placement-independent skeleton of one query's probe estimate: what
+/// would ship, with all posting-size sorting and host selection already
+/// resolved. Evaluating it against a placement is a pure node lookup, so
+/// one shape can score arbitrarily many candidate clusters.
+enum ProbeShape {
+    /// Fewer than two keywords: no communication under any placement.
+    Free,
+    /// Intersection first hop: `bytes` ship iff `a` and `b` are on
+    /// different nodes.
+    FirstHop { a: WordId, b: WordId, bytes: u64 },
+    /// Union gather: each shipment `(word, bytes)` ships iff its word's
+    /// node differs from `host`'s node.
+    Gather {
+        host: WordId,
+        shipments: Vec<(WordId, u64)>,
+    },
+}
+
+impl ProbeShape {
+    /// Probe bytes under the placement described by `node_of`.
+    fn bytes_on(&self, node_of: impl Fn(WordId) -> usize) -> u64 {
+        match self {
+            ProbeShape::Free => 0,
+            ProbeShape::FirstHop { a, b, bytes } => {
+                if node_of(*a) != node_of(*b) {
+                    *bytes
+                } else {
+                    0
+                }
+            }
+            ProbeShape::Gather { host, shipments } => {
+                let host = node_of(*host);
+                shipments
+                    .iter()
+                    .filter(|&&(w, _)| node_of(w) != host)
+                    .map(|&(_, bytes)| bytes)
+                    .sum()
+            }
+        }
+    }
+}
+
 /// A query engine bound to an index and a cluster placement.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryEngine<'a> {
@@ -247,6 +289,45 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// The placement-independent part of `query`'s probe estimate: which
+    /// keywords matter and how many bytes each would ship. Computing this
+    /// once lets any number of candidate clusters be scored without
+    /// re-sorting the query per candidate (see [`Self::probe_batch`]);
+    /// both [`Self::model_probe`] and `Pipeline::probe` bottom out here.
+    fn probe_shape(&self, query: &Query) -> ProbeShape {
+        if query.words.len() < 2 {
+            return ProbeShape::Free;
+        }
+        match self.policy {
+            AggregationPolicy::Intersection => {
+                // Same ordering rule as execute_intersection.
+                let mut order: Vec<WordId> = query.words.clone();
+                order.sort_unstable_by_key(|&w| (self.index.posting(w).len(), w));
+                let (a, b) = (order[0], order[1]);
+                ProbeShape::FirstHop {
+                    a,
+                    b,
+                    bytes: self.index.size_bytes(a),
+                }
+            }
+            AggregationPolicy::Union => {
+                let host = *query
+                    .words
+                    .iter()
+                    .max_by_key(|&&w| (self.index.posting(w).len(), w))
+                    .expect("len >= 2");
+                ProbeShape::Gather {
+                    host,
+                    shipments: query
+                        .words
+                        .iter()
+                        .map(|&w| (w, self.index.size_bytes(w)))
+                        .collect(),
+                }
+            }
+        }
+    }
+
     /// Predicts the communication bytes of `query` **without** touching
     /// posting-list contents — the serving-layer analogue of the solver's
     /// O(deg) move deltas: cost from metadata only, no full evaluation.
@@ -261,36 +342,8 @@ impl<'a> QueryEngine<'a> {
     ///   two-keyword queries the bound is tight.
     #[must_use]
     pub fn model_probe(&self, query: &Query) -> u64 {
-        if query.words.len() < 2 {
-            return 0;
-        }
-        match self.policy {
-            AggregationPolicy::Intersection => {
-                // Same ordering rule as execute_intersection.
-                let mut order: Vec<WordId> = query.words.clone();
-                order.sort_unstable_by_key(|&w| (self.index.posting(w).len(), w));
-                let (a, b) = (order[0], order[1]);
-                if self.node_of(a) != self.node_of(b) {
-                    self.index.size_bytes(a)
-                } else {
-                    0
-                }
-            }
-            AggregationPolicy::Union => {
-                let host_word = *query
-                    .words
-                    .iter()
-                    .max_by_key(|&&w| (self.index.posting(w).len(), w))
-                    .expect("len >= 2");
-                let host = self.node_of(host_word);
-                query
-                    .words
-                    .iter()
-                    .filter(|&&w| self.node_of(w) != host)
-                    .map(|&w| self.index.size_bytes(w))
-                    .sum()
-            }
-        }
+        self.probe_shape(query)
+            .bytes_on(|w| self.cluster.node_of(w).unwrap_or(0))
     }
 
     /// Sums [`Self::model_probe`] over a whole log — a placement-quality
@@ -301,6 +354,31 @@ impl<'a> QueryEngine<'a> {
     #[must_use]
     pub fn probe_log(&self, log: &QueryLog) -> u64 {
         log.iter().map(|q| self.model_probe(q)).sum()
+    }
+
+    /// Probes `log` against `k` candidate clusters at once: each query's
+    /// placement-independent shape (posting-size sort, host selection,
+    /// shipment bytes) is computed **once** and evaluated against every
+    /// candidate, instead of re-deriving it per candidate as k separate
+    /// [`Self::probe_log`] calls would.
+    ///
+    /// Entry `c` equals `probe_log(log)` of an engine bound to
+    /// `candidates[c]` exactly (u64 arithmetic — no ordering caveats), and
+    /// the engine's own cluster never influences the result; a batch of 1
+    /// is [`Self::probe_log`].
+    #[must_use]
+    pub fn probe_batch(&self, log: &QueryLog, candidates: &[&Cluster]) -> Vec<u64> {
+        let mut totals = vec![0u64; candidates.len()];
+        if candidates.is_empty() {
+            return totals;
+        }
+        for q in log.iter() {
+            let shape = self.probe_shape(q);
+            for (t, cluster) in totals.iter_mut().zip(candidates) {
+                *t += shape.bytes_on(|w| cluster.node_of(w).unwrap_or(0));
+            }
+        }
+        totals
     }
 
     /// Replays a whole query log and aggregates the statistics.
@@ -602,6 +680,43 @@ mod tests {
         assert_eq!(engine.probe_log(&log), engine.replay(&log).total_bytes);
         let inter = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
         assert!(inter.probe_log(&log) <= inter.replay(&log).total_bytes);
+    }
+
+    #[test]
+    fn probe_batch_matches_per_cluster_probe_log() {
+        let f = fixture();
+        let log = QueryLog {
+            queries: {
+                let ws: Vec<WordId> = f.index.keywords().collect();
+                vec![
+                    Query { words: vec![ws[0]] },
+                    Query {
+                        words: vec![ws[0], ws[1]],
+                    },
+                    Query {
+                        words: ws.iter().copied().take(5).collect(),
+                    },
+                ]
+            },
+            universe: f.vocab.len(),
+        };
+        let clusters: Vec<Cluster> = (0..4)
+            .map(|c| {
+                let assignment: Vec<usize> = (0..f.vocab.len()).map(|w| (w + c) % 3).collect();
+                Cluster::with_assignment(3, &f.index, &assignment)
+            })
+            .collect();
+        let refs: Vec<&Cluster> = clusters.iter().collect();
+        for policy in [AggregationPolicy::Intersection, AggregationPolicy::Union] {
+            // The engine's own cluster must not influence the result.
+            let engine = QueryEngine::new(&f.index, &clusters[0], policy);
+            let batch = engine.probe_batch(&log, &refs);
+            for (c, cluster) in clusters.iter().enumerate() {
+                let solo = QueryEngine::new(&f.index, cluster, policy).probe_log(&log);
+                assert_eq!(batch[c], solo, "{policy:?} candidate {c}");
+            }
+            assert!(engine.probe_batch(&log, &[]).is_empty());
+        }
     }
 
     #[test]

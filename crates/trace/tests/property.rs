@@ -47,7 +47,7 @@ fn correlations_are_probabilities() {
         .regressions(REGRESSIONS)
         .run(arbitrary_queries, |raw| {
             let log = log_of(raw);
-            if log.len() == 0 {
+            if log.is_empty() {
                 return Ok(());
             }
             let stats = PairStats::from_log(&log);
@@ -71,7 +71,7 @@ fn top_pairs_sorted() {
             |(raw, k)| {
                 let k = *k;
                 let log = log_of(raw);
-                if log.len() == 0 {
+                if log.is_empty() {
                     return Ok(());
                 }
                 let stats = PairStats::from_log(&log);
@@ -92,7 +92,7 @@ fn two_smallest_counts_one_pair_per_query() {
         .regressions(REGRESSIONS)
         .run(arbitrary_queries, |raw| {
             let log = log_of(raw);
-            if log.len() == 0 {
+            if log.is_empty() {
                 return Ok(());
             }
             let all = PairStats::from_log(&log);
@@ -120,7 +120,7 @@ fn dominance_curves_monotone() {
         .regressions(REGRESSIONS)
         .run(arbitrary_queries, |raw| {
             let log = log_of(raw);
-            if log.len() == 0 {
+            if log.is_empty() {
                 return Ok(());
             }
             let stats = PairStats::from_log(&log);

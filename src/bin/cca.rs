@@ -22,6 +22,11 @@
 //!
 //! cca replay --placement FILE [--preset ...] [--seed N] [--nodes N]
 //!     load a placement saved by `cca place --out` and replay the trace
+//!
+//! cca probe [--candidates K] [--scope N] [--seed N] ...
+//!     solve the LP relaxation once, round K candidate placements, score
+//!     all of them with one batched serving probe, and keep the placement
+//!     that moves the fewest bytes on the query log
 //! ```
 //!
 //! `place --out FILE` saves the computed placement; `workload --out FILE`
@@ -35,8 +40,9 @@
 //! Argument parsing is deliberately dependency-free.
 
 use cca::algo::{
-    figure4::Figure4Lp, importance_ranking, scope_subproblem, ResilienceOptions, Rung,
-    SolveBudget, Strategy,
+    compose_with_hashed_rest, figure4::Figure4Lp, greedy_placement, importance_ranking,
+    round_samples_scored, scope_subproblem, solve_relaxation, ObjectId, RelaxOptions,
+    ResilienceOptions, Rung, SolveBudget, Strategy,
 };
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
@@ -56,6 +62,7 @@ struct Args {
     capacity_factor: Option<f64>,
     out: Option<String>,
     placement: Option<String>,
+    candidates: usize,
 }
 
 impl Default for Args {
@@ -72,6 +79,7 @@ impl Default for Args {
             capacity_factor: None,
             out: None,
             placement: None,
+            candidates: 8,
         }
     }
 }
@@ -86,7 +94,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: cca <workload|evaluate|place|replay|export-lp> [options]\n\
+    "usage: cca <workload|evaluate|place|replay|export-lp|probe> [options]\n\
      options:\n\
        --preset small|paper   workload size (default small)\n\
        --seed N               workload seed (default 42)\n\
@@ -101,8 +109,10 @@ fn usage() -> &'static str {
                               cores; results are identical for any N)\n\
        --capacity-factor F    per-node capacity as a multiple of the\n\
                               average load (default 2.0, as in the paper)\n\
-       --out FILE             output path (place/workload/export-lp)\n\
+       --out FILE             output path (place/workload/export-lp/probe)\n\
        --placement FILE       saved placement to replay (replay only)\n\
+       --candidates K         rounding candidates scored per batched\n\
+                              probe, 1..=1024 (probe only; default 8)\n\
      exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
 }
 
@@ -151,6 +161,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out" => args.out = Some(value()?),
             "--placement" => args.placement = Some(value()?),
+            "--candidates" => {
+                let k: usize = value()?.parse().map_err(|e| format!("--candidates: {e}"))?;
+                if !(1..=1024).contains(&k) {
+                    return Err("--candidates must be between 1 and 1024".into());
+                }
+                args.candidates = k;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -328,6 +345,65 @@ fn cmd_place_resilient(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// `cca probe`: LP-relax once, round `--candidates` placements from the
+/// same fractional solution, rank all of them with **one** batched probe
+/// over the query log ([`Pipeline::probe_batch`]), and keep the candidate
+/// that ships the fewest bytes. Ties break by model cost, then by
+/// candidate index, so the winner is deterministic for a fixed seed.
+fn cmd_probe(args: &Args) -> Result<ExitCode, String> {
+    let p = build_pipeline(args)?;
+    let threads = args.threads();
+    let scope_size = args
+        .scope
+        .unwrap_or(p.problem.num_objects())
+        .min(p.problem.num_objects());
+    let scope: Vec<ObjectId> = importance_ranking(&p.problem)
+        .into_iter()
+        .take(scope_size)
+        .collect();
+    let sub = scope_subproblem(&p.problem, &scope, false);
+    eprintln!(
+        "relaxing {} objects on {} nodes...",
+        sub.num_objects(),
+        sub.num_nodes()
+    );
+    let seed_placement = greedy_placement(&sub);
+    let outcome = solve_relaxation(&sub, Some(&seed_placement), &RelaxOptions::default())
+        .map_err(|e| e.to_string())?;
+    let (samples, model_costs) =
+        round_samples_scored(&outcome.fractional, &sub, args.candidates, args.seed, threads)
+            .map_err(|e| e.to_string())?;
+    let full: Vec<cca::algo::Placement> = samples
+        .iter()
+        .map(|s| compose_with_hashed_rest(&p.problem, &scope, s))
+        .collect();
+    let probed = p.probe_batch(&full);
+    println!("{:>9} {:>16} {:>16}", "candidate", "model cost", "probe bytes");
+    let mut best: usize = 0;
+    for (i, (&bytes, &cost)) in probed.iter().zip(&model_costs).enumerate() {
+        println!("{i:>9} {cost:>16.2} {bytes:>16}");
+        let better = (bytes, cost) < (probed[best], model_costs[best]);
+        if better {
+            best = i;
+        }
+    }
+    println!(
+        "selected:   candidate {best} ({} probed bytes)",
+        probed[best]
+    );
+    let placement = full.into_iter().nth(best).expect("candidates >= 1");
+    let audit = cca::algo::audit_placement(&p.problem, &placement, 5);
+    print!("{}", audit.report());
+    if let Some(path) = &args.out {
+        save_placement(path, &p.problem, &placement)?;
+    }
+    Ok(if audit.feasible() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let path = args
         .placement
@@ -391,6 +467,7 @@ fn main() -> ExitCode {
         "workload" => cmd_workload(&args).map(|()| ExitCode::SUCCESS),
         "evaluate" => cmd_evaluate(&args).map(|()| ExitCode::SUCCESS),
         "place" => cmd_place(&args),
+        "probe" => cmd_probe(&args),
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
         "export-lp" => cmd_export_lp(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {

@@ -239,9 +239,24 @@ impl Pipeline {
     /// placements before paying for a full [`Pipeline::replay`].
     #[must_use]
     pub fn probe(&self, placement: &Placement) -> u64 {
-        let cluster = self.cluster_for(placement);
-        let engine = QueryEngine::new(&self.index, &cluster, self.config.aggregation);
-        engine.probe_log(&self.workload.queries)
+        self.probe_batch(std::slice::from_ref(placement))[0]
+    }
+
+    /// [`Pipeline::probe`] for `k` candidate placements at once via
+    /// [`QueryEngine::probe_batch`]: every query's placement-independent
+    /// shape (posting-size sort, host selection) is derived **once** and
+    /// evaluated against all candidates, instead of once per candidate.
+    /// Entry `c` equals `probe(&placements[c])` exactly; an empty slice
+    /// yields an empty vector.
+    #[must_use]
+    pub fn probe_batch(&self, placements: &[Placement]) -> Vec<u64> {
+        let clusters: Vec<Cluster> = placements.iter().map(|p| self.cluster_for(p)).collect();
+        let Some(first) = clusters.first() else {
+            return Vec::new();
+        };
+        let refs: Vec<&Cluster> = clusters.iter().collect();
+        let engine = QueryEngine::new(&self.index, first, self.config.aggregation);
+        engine.probe_batch(&self.workload.queries, &refs)
     }
 
     /// Builds a CCA problem with correlations re-estimated from a
@@ -444,6 +459,21 @@ mod tests {
         let random = p.place(&Strategy::RandomHash, None).unwrap();
         let greedy = p.place(&Strategy::Greedy, None).unwrap();
         assert!(p.probe(&greedy.placement) <= p.probe(&random.placement));
+    }
+
+    #[test]
+    fn probe_batch_matches_per_placement_probes() {
+        let p = tiny_pipeline();
+        let candidates = vec![
+            p.place(&Strategy::RandomHash, None).unwrap().placement,
+            p.place(&Strategy::Greedy, None).unwrap().placement,
+        ];
+        let batch = p.probe_batch(&candidates);
+        assert_eq!(batch.len(), 2);
+        for (c, placement) in candidates.iter().enumerate() {
+            assert_eq!(batch[c], p.probe(placement), "candidate {c}");
+        }
+        assert!(p.probe_batch(&[]).is_empty());
     }
 
     #[test]

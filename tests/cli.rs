@@ -218,6 +218,76 @@ fn resilient_place_validates_rung_names() {
     assert!(stderr.contains("better rung"));
 }
 
+/// `probe --candidates` taxonomy: the bounds 1..=1024 are enforced at
+/// parse time (exit 1, nothing built), valid widths run end to end, and
+/// the 0-ok / 3-infeasible audit semantics match `place`.
+#[test]
+fn probe_candidates_option_validates_and_probes() {
+    for bad in ["0", "1025", "-1", "many"] {
+        let (code, _, stderr) = run_code(&["probe", "--preset", "tiny", "--candidates", bad]);
+        assert_eq!(code, 1, "--candidates {bad} must be a usage error");
+        assert!(
+            stderr.contains("--candidates"),
+            "--candidates {bad}: stderr: {stderr}"
+        );
+        assert!(
+            !stderr.contains("building"),
+            "--candidates {bad} must fail before the pipeline is built"
+        );
+    }
+
+    // Boundary widths both run; generous capacity keeps the audit clean.
+    for k in ["1", "3"] {
+        let (code, stdout, stderr) = run_code(&[
+            "probe", "--preset", "tiny", "--scope", "40", "--capacity-factor", "8",
+            "--candidates", k,
+        ]);
+        assert_eq!(code, 0, "k = {k}\nstdout: {stdout}\nstderr: {stderr}");
+        assert!(stdout.contains("probe bytes"), "stdout: {stdout}");
+        assert!(stdout.contains("selected:   candidate"), "stdout: {stdout}");
+    }
+
+    // Tight capacities: the LP stays feasible but probe does not repair
+    // its rounded candidates, so the winner fails the audit — exit 3, the
+    // same taxonomy slot `place` uses for infeasible placements. (An
+    // infeasible *relaxation* is an ordinary error: exit 1.)
+    let (code, stdout, _) = run_code(&[
+        "probe", "--preset", "tiny", "--scope", "50", "--candidates", "4",
+    ]);
+    assert_eq!(code, 3, "stdout: {stdout}");
+    assert!(stdout.contains("VIOLATION"), "stdout: {stdout}");
+    let (code, _, stderr) = run_code(&[
+        "probe", "--preset", "tiny", "--scope", "40", "--capacity-factor", "0.4",
+        "--candidates", "2",
+    ]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+}
+
+/// The probed-bytes ranking is deterministic: the same seed prints the
+/// same table and selects the same candidate for every thread count.
+#[test]
+fn probe_report_is_identical_across_thread_counts() {
+    let base = [
+        "probe", "--preset", "tiny", "--scope", "40", "--capacity-factor", "8",
+        "--candidates", "4", "--seed", "11",
+    ];
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", threads]);
+        let (code, stdout, stderr) = run_code(&args);
+        assert_eq!(code, 0, "threads {threads}\nstdout: {stdout}\nstderr: {stderr}");
+        outputs.push(stdout);
+    }
+    for (i, out) in outputs.iter().enumerate().skip(1) {
+        assert_eq!(
+            out, &outputs[0],
+            "--threads {} changed the probe report",
+            ["1", "2", "8"][i]
+        );
+    }
+}
+
 #[test]
 fn export_lp_emits_parseable_lp() {
     let (ok, stdout, _) = run(&[
