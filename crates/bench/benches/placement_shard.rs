@@ -1,0 +1,281 @@
+//! Sharded-CSR bench at the million-object scale — the headline artifact
+//! for the range-sharded graph view (DESIGN.md §11).
+//!
+//! The instance is `cca_trace::zipf_instance`'s 10⁶-object / 10⁷-edge
+//! Zipf table (50k / 500k in quick mode). The bench measures, on it:
+//!
+//! * flat [`cca_core::CorrelationGraph`] build time and resident bytes;
+//! * [`cca_core::ShardedGraph`] build time for shard counts {1, 2, 7} at
+//!   build thread counts {1, 2}, plus resident bytes;
+//! * `cost` and 8-wide `cost_batch` evaluation time for every
+//!   (shards, threads) combination vs. the flat serial walks,
+//!   **hard-asserting bit identity** for each — the instance's dyadic
+//!   weights (multiples of ⅛ × integral costs) make every reduction
+//!   shape exact, so shard/thread invariance is `==` on raw bits, not a
+//!   tolerance;
+//! * `move_delta` spot checks over a sample of objects (bit-identical
+//!   for any shard count by construction — the shard rows replicate the
+//!   flat rows);
+//! * the `> 2²⁴`-node **wide (f64) interleave regime**: a batch over
+//!   `2²⁴ + 1` nodes scored by flat and sharded walks must agree to the
+//!   bit, proving the fallback is a tested regime at generator scale.
+//!
+//! No speedup floor is asserted here — shard-parallel wins need cores
+//! and this bench must also hold on single-core hosts; the committed
+//! throughput numbers are gated by `scripts/check_shard.sh` instead.
+//! Besides the TSV table it writes `BENCH_shard.json` (override the path
+//! with `CCA_BENCH_OUT`).
+
+use cca::algo::{
+    CorrelationGraph, ObjectId, Pair, Placement, PlacementBatch, ShardedGraph,
+};
+use cca_bench::{header, quick_mode, BENCH_SEED};
+use cca_rand::rngs::StdRng;
+use cca_rand::{Rng, SeedableRng};
+use cca_trace::zipf_instance;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Shard counts under measurement (the ISSUE's required set).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Thread counts swept for build and evaluation.
+const THREAD_COUNTS: [usize; 2] = [1, 2];
+
+/// Candidate width of the batched-evaluation measurement.
+const BATCH_K: usize = 8;
+
+/// Evaluation nodes (narrow f32 interleave regime).
+const NODES: usize = 64;
+
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let v = f();
+        best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    (best_ms, last.expect("runs >= 1"))
+}
+
+struct ShardResult {
+    shards: usize,
+    threads: usize,
+    build_ms: f64,
+    cost_ms: f64,
+    batch_ms: f64,
+    memory_bytes: usize,
+    bits_match: bool,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    objects: usize,
+    edges: usize,
+    instance_bytes: usize,
+    flat_build_ms: f64,
+    flat_cost_ms: f64,
+    flat_batch_ms: f64,
+    flat_bytes: usize,
+    results: &[ShardResult],
+    wide_nodes: usize,
+    wide_bits_match: bool,
+    path: &str,
+) {
+    let medges = edges as f64 / 1e6;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"placement_shard\",\n");
+    out.push_str(&format!("  \"seed\": {BENCH_SEED},\n"));
+    out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    out.push_str(&format!(
+        "  \"instance\": {{\"name\": \"zipf-1m\", \"objects\": {objects}, \"edges\": {edges}, \
+         \"skew\": 0.8, \"raw_bytes\": {instance_bytes}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"flat\": {{\"build_ms\": {flat_build_ms:.3}, \"cost_ms\": {flat_cost_ms:.3}, \
+         \"cost_batch_ms\": {flat_batch_ms:.3}, \"k\": {BATCH_K}, \"memory_bytes\": {flat_bytes}, \
+         \"build_medges_per_s\": {:.3}, \"eval_medges_per_s\": {:.3}}},\n",
+        medges / (flat_build_ms / 1e3),
+        medges / (flat_cost_ms / 1e3)
+    ));
+    out.push_str("  \"sharded\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"build_ms\": {:.3}, \"cost_ms\": {:.3}, \
+             \"cost_batch_ms\": {:.3}, \"memory_bytes\": {}, \"bits_match\": {}, \
+             \"build_medges_per_s\": {:.3}, \"eval_medges_per_s\": {:.3}}}{}\n",
+            r.shards,
+            r.threads,
+            r.build_ms,
+            r.cost_ms,
+            r.batch_ms,
+            r.memory_bytes,
+            r.bits_match,
+            medges / (r.build_ms / 1e3),
+            medges / (r.cost_ms / 1e3),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"wide_interleave\": {{\"num_nodes\": {wide_nodes}, \"bits_match\": {wide_bits_match}}}\n"
+    ));
+    out.push_str("}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote shard baseline to {path}");
+}
+
+fn main() {
+    println!("# sharded CSR at the million-object scale");
+    let (objects, edges) = if quick_mode() {
+        (50_000, 500_000)
+    } else {
+        (1_000_000, 10_000_000)
+    };
+
+    let t = Instant::now();
+    let inst = zipf_instance(objects, edges, 0.8, BENCH_SEED);
+    let gen_s = t.elapsed().as_secs_f64();
+    let instance_bytes = inst.memory_bytes();
+    eprintln!(
+        "generated {objects} objects / {edges} pairs in {gen_s:.1}s \
+         ({:.0} MiB raw)",
+        instance_bytes as f64 / (1024.0 * 1024.0)
+    );
+    let pairs: Vec<Pair> = inst
+        .pairs
+        .iter()
+        .map(|p| Pair {
+            a: ObjectId(p.a),
+            b: ObjectId(p.b),
+            correlation: p.correlation,
+            comm_cost: p.comm_cost,
+        })
+        .collect();
+
+    // Flat CSR baseline: build, serial cost, serial 8-wide batch.
+    let (flat_build_ms, graph) = best_of(2, || CorrelationGraph::build(objects, &pairs));
+    let flat_bytes = graph.memory_bytes();
+
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x5a4d);
+    let placement = Placement::new(
+        (0..objects).map(|_| rng.random_range(0..NODES as u32)).collect(),
+        NODES,
+    );
+    // BATCH_K node-relabelled copies so no column is trivially equal.
+    let rotated: Vec<Placement> = (0..BATCH_K)
+        .map(|r| {
+            Placement::new(
+                placement
+                    .as_slice()
+                    .iter()
+                    .map(|&j| (j + r as u32) % NODES as u32)
+                    .collect(),
+                NODES,
+            )
+        })
+        .collect();
+    let batch = PlacementBatch::from_placements(&rotated);
+
+    let (flat_cost_ms, flat_cost) = best_of(3, || black_box(&graph).cost(&placement));
+    let (flat_batch_ms, flat_batch) = best_of(2, || black_box(&graph).cost_batch(&batch));
+
+    // Spot-check sample for move_delta identity.
+    let sample: Vec<ObjectId> = (0..100)
+        .map(|_| ObjectId(rng.random_range(0..objects as u32)))
+        .collect();
+
+    header(
+        "sharded vs flat CSR",
+        &["shards", "threads", "build_ms", "cost_ms", "batch_ms", "bits"],
+    );
+    println!("flat\t-\t{flat_build_ms:.1}\t{flat_cost_ms:.2}\t{flat_batch_ms:.2}\t-");
+
+    let mut results = Vec::new();
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let (build_ms, sg) =
+                best_of(2, || ShardedGraph::build(objects, &pairs, shards, threads));
+            let (cost_ms, s_cost) = best_of(3, || black_box(&sg).cost(&placement, threads));
+            let (batch_ms, s_batch) = best_of(2, || black_box(&sg).cost_batch(&batch, threads));
+
+            let cost_match = s_cost.to_bits() == flat_cost.to_bits();
+            let batch_match = s_batch.len() == flat_batch.len()
+                && s_batch
+                    .iter()
+                    .zip(&flat_batch)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            let delta_match = sample.iter().all(|&o| {
+                [0usize, 17, NODES - 1].iter().all(|&k| {
+                    sg.move_delta(&placement, o, k).to_bits()
+                        == graph.move_delta(&placement, o, k).to_bits()
+                })
+            });
+            let bits_match = cost_match && batch_match && delta_match;
+            assert!(
+                bits_match,
+                "{shards} shards / {threads} threads diverged from the flat CSR \
+                 (cost {cost_match}, batch {batch_match}, delta {delta_match})"
+            );
+            println!(
+                "{shards}\t{threads}\t{build_ms:.1}\t{cost_ms:.2}\t{batch_ms:.2}\t{bits_match}"
+            );
+            results.push(ShardResult {
+                shards,
+                threads,
+                build_ms,
+                cost_ms,
+                batch_ms,
+                memory_bytes: sg.memory_bytes(),
+                bits_match,
+            });
+        }
+    }
+
+    // Wide-interleave regime: > 2^24 nodes forces the f64 layout; flat
+    // and sharded batched walks must still agree to the bit.
+    let wide_nodes = (1usize << 24) + 1;
+    let wide_batch = {
+        let mut b = PlacementBatch::new(objects, wide_nodes);
+        for _ in 0..4 {
+            b.push(&Placement::new(
+                (0..objects)
+                    .map(|_| rng.random_range(0..wide_nodes as u32))
+                    .collect(),
+                wide_nodes,
+            ));
+        }
+        b
+    };
+    let wide_flat = graph.cost_batch(&wide_batch);
+    let wide_sharded = ShardedGraph::build(objects, &pairs, 7, 2).cost_batch(&wide_batch, 2);
+    let wide_bits_match = wide_flat
+        .iter()
+        .zip(&wide_sharded)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        wide_bits_match,
+        "wide (f64) interleave regime diverged between flat and sharded walks"
+    );
+    println!();
+    println!("# wide interleave at {wide_nodes} nodes: bits_match {wide_bits_match}");
+
+    let path = std::env::var("CCA_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json").to_string()
+    });
+    write_json(
+        objects,
+        edges,
+        instance_bytes,
+        flat_build_ms,
+        flat_cost_ms,
+        flat_batch_ms,
+        flat_bytes,
+        &results,
+        wide_nodes,
+        wide_bits_match,
+        &path,
+    );
+}

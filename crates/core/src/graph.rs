@@ -30,7 +30,7 @@
 //! `graph_properties` suite pins this exactly, not within an epsilon).
 
 use crate::placement::Placement;
-use crate::problem::{ObjectId, Pair};
+use crate::problem::{ObjectId, Pair, ProblemError};
 
 /// Identifier of an edge: the index of its [`Pair`] in
 /// [`crate::CcaProblem::pairs`] — this back-map is a stable, documented
@@ -239,7 +239,7 @@ impl PlacementBatch {
     /// is unchanged. Pure layout either way: the per-candidate fold order
     /// is untouched. Built on first use and cached until the next `push`,
     /// so re-scoring the same batch pays the transpose once.
-    fn interleaved(&self) -> &InterleavedRows {
+    pub(crate) fn interleaved(&self) -> &InterleavedRows {
         self.rows.get_or_init(|| {
             if self.num_nodes <= 1 << 24 {
                 InterleavedRows::Narrow(self.transpose(|node| node as f32))
@@ -268,9 +268,170 @@ impl PlacementBatch {
 /// narrow to `f32` whenever the node count keeps that exact (`< 2^24`),
 /// falling back to `f64` (exact for every `u32` id).
 #[derive(Debug, Clone)]
-enum InterleavedRows {
+pub(crate) enum InterleavedRows {
     Narrow(Vec<f32>),
     Wide(Vec<f64>),
+}
+
+/// Validates that a CSR build over `num_pairs` pairs and `num_objects`
+/// objects stays within `u32` indexing: object ids must fit `u32`
+/// ([`ObjectId`] is `u32`-backed) and the `2·m` half-edge slots must fit
+/// the `u32` offset/cursor arithmetic (which also keeps every
+/// [`EdgeId`]`(e as u32)` cast exact). Checked *before* any allocation so
+/// an oversized instance errors instead of silently wrapping — or OOMing
+/// on the degree array.
+pub(crate) fn check_csr_bounds(num_objects: usize, num_pairs: usize) -> Result<(), ProblemError> {
+    if num_objects > u32::MAX as usize || num_pairs > (u32::MAX / 2) as usize {
+        return Err(ProblemError::GraphTooLarge {
+            objects: num_objects,
+            pairs: num_pairs,
+        });
+    }
+    Ok(())
+}
+
+/// The serial CCA cost fold over structure-of-arrays edge columns: the
+/// same `filter · map · sum` sequence as the historic pair-list scan
+/// (including `sum`'s `-0.0` identity for the no-split case), shared by
+/// [`CorrelationGraph::cost`] and the per-shard partials of
+/// [`crate::shard::ShardedGraph`].
+pub(crate) fn edge_cost_fold(
+    edge_a: &[ObjectId],
+    edge_b: &[ObjectId],
+    edge_weight: &[f64],
+    placement: &Placement,
+) -> f64 {
+    edge_a
+        .iter()
+        .zip(edge_b)
+        .zip(edge_weight)
+        .filter(|&((&a, &b), _)| placement.node_of(a) != placement.node_of(b))
+        .map(|(_, &w)| w)
+        .sum()
+}
+
+/// The shared batched edge loop over structure-of-arrays edge columns in
+/// [`EdgeId`] order, accumulating into `acc` (one `-0.0`-initialised
+/// entry per candidate). `rows` is the batch's object-major interleaved
+/// layout: both endpoint rows of an edge are contiguous k-wide stripes,
+/// read once for all candidates.
+///
+/// With strictly positive edge weights the inner loop is branchless
+/// (`+= w` or `+= 0.0` by select), which lets the compiler vectorise
+/// across candidates. Adding `+0.0` for non-split edges perturbs a
+/// serial fold's bits in exactly one place — a candidate that never
+/// splits reads `+0.0` instead of the fold identity `-0.0` — and with
+/// `w > 0` everywhere "never split" is equivalent to "sum is ±0", so
+/// the trailing fix-up restores `-0.0` exactly. Graphs carrying
+/// zero-weight edges take the branchy scalar loop instead, which
+/// reproduces the serial fold sequence verbatim.
+///
+/// Shared by [`CorrelationGraph::cost_batch`] /
+/// [`CorrelationGraph::cost_batch_chunked`] (over edge sub-ranges) and
+/// the per-shard partials of [`crate::shard::ShardedGraph::cost_batch`]
+/// (over shard-owned edge columns).
+pub(crate) fn batch_edge_walk<T: Copy + PartialEq>(
+    edge_a: &[ObjectId],
+    edge_b: &[ObjectId],
+    edge_weight: &[f64],
+    positive_weights: bool,
+    rows: &[T],
+    k: usize,
+    acc: &mut [f64],
+) {
+    if positive_weights {
+        // Monomorphise the hot widths: a compile-time K fully unrolls
+        // the lane loop, keeps the K accumulators in registers, and
+        // elides every per-lane bounds check. Other widths take the
+        // dynamic-width loop, whose per-edge overhead amortises as k
+        // grows.
+        match k {
+            1 => walk_const::<1, T>(edge_a, edge_b, edge_weight, rows, acc),
+            2 => walk_const::<2, T>(edge_a, edge_b, edge_weight, rows, acc),
+            4 => walk_const::<4, T>(edge_a, edge_b, edge_weight, rows, acc),
+            8 => walk_const::<8, T>(edge_a, edge_b, edge_weight, rows, acc),
+            16 => walk_const::<16, T>(edge_a, edge_b, edge_weight, rows, acc),
+            _ => walk_dyn(edge_a, edge_b, edge_weight, rows, k, acc),
+        }
+        for s in acc.iter_mut() {
+            if *s == 0.0 {
+                *s = -0.0;
+            }
+        }
+    } else {
+        let edges = edge_a.iter().zip(edge_b).zip(edge_weight);
+        for ((&a, &b), &w) in edges {
+            let ra = &rows[a.index() * k..][..k];
+            let rb = &rows[b.index() * k..][..k];
+            for ((s, &x), &y) in acc.iter_mut().zip(ra).zip(rb) {
+                if x != y {
+                    *s += w;
+                }
+            }
+        }
+    }
+}
+
+/// The positive-weight select-add walk at compile-time width `K`:
+/// `K` independent accumulator lanes held in a local array (register-
+/// resident for the widths dispatched above), unrolled per edge.
+/// Assumes `acc` is `-0.0`-initialised and overwrites its first `K`
+/// entries with the folded lanes.
+fn walk_const<const K: usize, T: Copy + PartialEq>(
+    edge_a: &[ObjectId],
+    edge_b: &[ObjectId],
+    edge_weight: &[f64],
+    rows: &[T],
+    acc: &mut [f64],
+) {
+    let mut local = [-0.0f64; K];
+    let edges = edge_a.iter().zip(edge_b).zip(edge_weight);
+    for ((&a, &b), &w) in edges {
+        let ra = &rows[a.index() * K..][..K];
+        let rb = &rows[b.index() * K..][..K];
+        // Two passes — compare all K lanes, then select-add — so the
+        // compiler compares whole stripes at once instead of weaving
+        // narrow element compares into the f64 adds.
+        let mut split = [false; K];
+        for j in 0..K {
+            split[j] = ra[j] != rb[j];
+        }
+        for j in 0..K {
+            local[j] += if split[j] { w } else { 0.0 };
+        }
+    }
+    acc[..K].copy_from_slice(&local);
+}
+
+/// The positive-weight select-add walk at runtime width `k`, in
+/// bounds-check-free 4-lane tiles plus a remainder loop.
+fn walk_dyn<T: Copy + PartialEq>(
+    edge_a: &[ObjectId],
+    edge_b: &[ObjectId],
+    edge_weight: &[f64],
+    rows: &[T],
+    k: usize,
+    acc: &mut [f64],
+) {
+    let acc = &mut acc[..k];
+    let edges = edge_a.iter().zip(edge_b).zip(edge_weight);
+    for ((&a, &b), &w) in edges {
+        let ra = &rows[a.index() * k..][..k];
+        let rb = &rows[b.index() * k..][..k];
+        let tiles = acc
+            .chunks_exact_mut(4)
+            .zip(ra.chunks_exact(4))
+            .zip(rb.chunks_exact(4));
+        for ((av, xv), yv) in tiles {
+            for j in 0..4 {
+                av[j] += if xv[j] != yv[j] { w } else { 0.0 };
+            }
+        }
+        let rest = k - k % 4;
+        for ((s, &x), &y) in acc[rest..].iter_mut().zip(&ra[rest..]).zip(&rb[rest..]) {
+            *s += if x != y { w } else { 0.0 };
+        }
+    }
 }
 
 impl CorrelationGraph {
@@ -279,9 +440,32 @@ impl CorrelationGraph {
     /// # Panics
     ///
     /// Panics if a pair references an object `>= num_objects` (the builder
-    /// validates ids before this runs).
+    /// validates ids before this runs), or if the instance overflows the
+    /// `u32` CSR indexing — use [`CorrelationGraph::try_build`] to get a
+    /// [`ProblemError::GraphTooLarge`] instead.
     #[must_use]
     pub fn build(num_objects: usize, pairs: &[Pair]) -> CorrelationGraph {
+        CorrelationGraph::try_build(num_objects, pairs)
+            .unwrap_or_else(|e| panic!("correlation graph build failed: {e}"))
+    }
+
+    /// Fallible [`CorrelationGraph::build`]: returns
+    /// [`ProblemError::GraphTooLarge`] when the instance would overflow the
+    /// `u32` CSR offsets / [`EdgeId`] casts (more than `u32::MAX / 2` pairs,
+    /// whose `2·m` half-edge slots would wrap the offset accumulator, or
+    /// more than `u32::MAX` objects), instead of silently wrapping. The
+    /// bound is checked before any allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair references an object `>= num_objects` (the builder
+    /// validates ids before this runs).
+    ///
+    /// # Errors
+    ///
+    /// [`ProblemError::GraphTooLarge`] as described above.
+    pub fn try_build(num_objects: usize, pairs: &[Pair]) -> Result<CorrelationGraph, ProblemError> {
+        check_csr_bounds(num_objects, pairs.len())?;
         let m = pairs.len();
         let mut edge_a = Vec::with_capacity(m);
         let mut edge_b = Vec::with_capacity(m);
@@ -300,6 +484,9 @@ impl CorrelationGraph {
             degree[pair.a.index()] += 1;
             degree[pair.b.index()] += 1;
         }
+        // Safe u32 arithmetic: `check_csr_bounds` capped the pair count at
+        // `u32::MAX / 2`, so `total` tops out at `2·m ≤ u32::MAX` and every
+        // `EdgeId(e as u32)` cast below is exact.
         let mut offsets = Vec::with_capacity(num_objects + 1);
         let mut total = 0u32;
         offsets.push(0);
@@ -354,7 +541,7 @@ impl CorrelationGraph {
                 .then((edge_a[x.index()], edge_b[x.index()]).cmp(&(edge_a[y.index()], edge_b[y.index()])))
         });
         let positive_weights = edge_weight.iter().all(|&w| w > 0.0);
-        CorrelationGraph {
+        Ok(CorrelationGraph {
             num_objects,
             edge_a,
             edge_b,
@@ -367,8 +554,27 @@ impl CorrelationGraph {
             by_correlation,
             by_weight,
             positive_weights,
-        }
+        })
     }
+
+    /// Approximate resident size of the CSR view in bytes (edge columns,
+    /// row arrays, precomputed orders) — the memory-model input for the
+    /// million-object instance accounting in `BENCH_shard.json`.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.edge_a.len() * size_of::<ObjectId>()
+            + self.edge_b.len() * size_of::<ObjectId>()
+            + self.edge_weight.len() * size_of::<f64>()
+            + self.offsets.len() * size_of::<u32>()
+            + self.nbr_ids.len() * size_of::<ObjectId>()
+            + self.nbr_weights.len() * size_of::<f64>()
+            + self.nbr_edges.len() * size_of::<EdgeId>()
+            + self.weighted_degree.len() * size_of::<f64>()
+            + self.by_correlation.len() * size_of::<EdgeId>()
+            + self.by_weight.len() * size_of::<EdgeId>()
+    }
+
 
     /// Number of objects (CSR rows).
     #[must_use]
@@ -499,13 +705,7 @@ impl CorrelationGraph {
         // scan (including `sum`'s `-0.0` identity for the all-colocated
         // case), over the SoA edge columns; zipped iteration keeps the
         // loop free of bounds checks.
-        self.edge_a
-            .iter()
-            .zip(&self.edge_b)
-            .zip(&self.edge_weight)
-            .filter(|&((&a, &b), _)| placement.node_of(a) != placement.node_of(b))
-            .map(|(_, &w)| w)
-            .sum()
+        edge_cost_fold(&self.edge_a, &self.edge_b, &self.edge_weight, placement)
     }
 
     /// Communication-cost change of moving `i` from its current node to
@@ -560,139 +760,27 @@ impl CorrelationGraph {
         if k == 0 {
             return acc;
         }
-        let m = self.edge_weight.len();
         match batch.interleaved() {
-            InterleavedRows::Narrow(rows) => self.batch_edge_walk(rows, k, 0, m, &mut acc),
-            InterleavedRows::Wide(rows) => self.batch_edge_walk(rows, k, 0, m, &mut acc),
+            InterleavedRows::Narrow(rows) => batch_edge_walk(
+                &self.edge_a,
+                &self.edge_b,
+                &self.edge_weight,
+                self.positive_weights,
+                rows,
+                k,
+                &mut acc,
+            ),
+            InterleavedRows::Wide(rows) => batch_edge_walk(
+                &self.edge_a,
+                &self.edge_b,
+                &self.edge_weight,
+                self.positive_weights,
+                rows,
+                k,
+                &mut acc,
+            ),
         }
         acc
-    }
-
-    /// The shared batched edge loop over `[start, end)` in [`EdgeId`]
-    /// order, accumulating into `acc` (one `-0.0`-initialised entry per
-    /// candidate). `rows` is the batch's object-major interleaved layout:
-    /// both endpoint rows of an edge are contiguous k-wide stripes, read
-    /// once for all candidates.
-    ///
-    /// With strictly positive edge weights the inner loop is branchless
-    /// (`+= w` or `+= 0.0` by select), which lets the compiler vectorise
-    /// across candidates. Adding `+0.0` for non-split edges perturbs a
-    /// serial fold's bits in exactly one place — a candidate that never
-    /// splits reads `+0.0` instead of the fold identity `-0.0` — and with
-    /// `w > 0` everywhere "never split" is equivalent to "sum is ±0", so
-    /// the trailing fix-up restores `-0.0` exactly. Graphs carrying
-    /// zero-weight edges take the branchy scalar loop instead, which
-    /// reproduces the serial fold sequence verbatim.
-    fn batch_edge_walk<T: Copy + PartialEq>(
-        &self,
-        rows: &[T],
-        k: usize,
-        start: usize,
-        end: usize,
-        acc: &mut [f64],
-    ) {
-        if self.positive_weights {
-            // Monomorphise the hot widths: a compile-time K fully unrolls
-            // the lane loop, keeps the K accumulators in registers, and
-            // elides every per-lane bounds check. Other widths take the
-            // dynamic-width loop, whose per-edge overhead amortises as k
-            // grows.
-            match k {
-                1 => self.walk_const::<1, T>(rows, start, end, acc),
-                2 => self.walk_const::<2, T>(rows, start, end, acc),
-                4 => self.walk_const::<4, T>(rows, start, end, acc),
-                8 => self.walk_const::<8, T>(rows, start, end, acc),
-                16 => self.walk_const::<16, T>(rows, start, end, acc),
-                _ => self.walk_dyn(rows, k, start, end, acc),
-            }
-            for s in acc.iter_mut() {
-                if *s == 0.0 {
-                    *s = -0.0;
-                }
-            }
-        } else {
-            let edges = self.edge_a[start..end]
-                .iter()
-                .zip(&self.edge_b[start..end])
-                .zip(&self.edge_weight[start..end]);
-            for ((&a, &b), &w) in edges {
-                let ra = &rows[a.index() * k..][..k];
-                let rb = &rows[b.index() * k..][..k];
-                for ((s, &x), &y) in acc.iter_mut().zip(ra).zip(rb) {
-                    if x != y {
-                        *s += w;
-                    }
-                }
-            }
-        }
-    }
-
-    /// The positive-weight select-add walk at compile-time width `K`:
-    /// `K` independent accumulator lanes held in a local array (register-
-    /// resident for the widths dispatched above), unrolled per edge.
-    /// Assumes `acc` is `-0.0`-initialised and overwrites its first `K`
-    /// entries with the folded lanes.
-    fn walk_const<const K: usize, T: Copy + PartialEq>(
-        &self,
-        rows: &[T],
-        start: usize,
-        end: usize,
-        acc: &mut [f64],
-    ) {
-        let mut local = [-0.0f64; K];
-        let edges = self.edge_a[start..end]
-            .iter()
-            .zip(&self.edge_b[start..end])
-            .zip(&self.edge_weight[start..end]);
-        for ((&a, &b), &w) in edges {
-            let ra = &rows[a.index() * K..][..K];
-            let rb = &rows[b.index() * K..][..K];
-            // Two passes — compare all K lanes, then select-add — so the
-            // compiler compares whole stripes at once instead of weaving
-            // narrow element compares into the f64 adds.
-            let mut split = [false; K];
-            for j in 0..K {
-                split[j] = ra[j] != rb[j];
-            }
-            for j in 0..K {
-                local[j] += if split[j] { w } else { 0.0 };
-            }
-        }
-        acc[..K].copy_from_slice(&local);
-    }
-
-    /// The positive-weight select-add walk at runtime width `k`, in
-    /// bounds-check-free 4-lane tiles plus a remainder loop.
-    fn walk_dyn<T: Copy + PartialEq>(
-        &self,
-        rows: &[T],
-        k: usize,
-        start: usize,
-        end: usize,
-        acc: &mut [f64],
-    ) {
-        let acc = &mut acc[..k];
-        let edges = self.edge_a[start..end]
-            .iter()
-            .zip(&self.edge_b[start..end])
-            .zip(&self.edge_weight[start..end]);
-        for ((&a, &b), &w) in edges {
-            let ra = &rows[a.index() * k..][..k];
-            let rb = &rows[b.index() * k..][..k];
-            let tiles = acc
-                .chunks_exact_mut(4)
-                .zip(ra.chunks_exact(4))
-                .zip(rb.chunks_exact(4));
-            for ((av, xv), yv) in tiles {
-                for j in 0..4 {
-                    av[j] += if xv[j] != yv[j] { w } else { 0.0 };
-                }
-            }
-            let rest = k - k % 4;
-            for ((s, &x), &y) in acc[rest..].iter_mut().zip(&ra[rest..]).zip(&rb[rest..]) {
-                *s += if x != y { w } else { 0.0 };
-            }
-        }
     }
 
     /// [`CorrelationGraph::cost_batch`] evaluated in parallel over fixed
@@ -724,9 +812,18 @@ impl CorrelationGraph {
             let start = c * BATCH_CHUNK_EDGES;
             let end = (start + BATCH_CHUNK_EDGES).min(m);
             let mut acc = vec![-0.0f64; k];
+            let (ea, eb, ew) = (
+                &self.edge_a[start..end],
+                &self.edge_b[start..end],
+                &self.edge_weight[start..end],
+            );
             match rows {
-                InterleavedRows::Narrow(r) => self.batch_edge_walk(r, k, start, end, &mut acc),
-                InterleavedRows::Wide(r) => self.batch_edge_walk(r, k, start, end, &mut acc),
+                InterleavedRows::Narrow(r) => {
+                    batch_edge_walk(ea, eb, ew, self.positive_weights, r, k, &mut acc);
+                }
+                InterleavedRows::Wide(r) => {
+                    batch_edge_walk(ea, eb, ew, self.positive_weights, r, k, &mut acc);
+                }
             }
             acc
         });
@@ -1116,5 +1213,35 @@ mod tests {
         let pl = Placement::new(vec![0, 1, 0], 2);
         assert_eq!(g.cost(&pl), 0.0);
         assert_eq!(g.cost_chunked(&pl, 4), 0.0);
+    }
+
+    #[test]
+    fn too_many_objects_error_before_allocating() {
+        // The guard fires before any `num_objects`-sized allocation, so an
+        // absurd object count is a cheap typed error, not an OOM or a
+        // wrapped u32 offset.
+        let err = CorrelationGraph::try_build(u32::MAX as usize + 1, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            ProblemError::GraphTooLarge {
+                objects,
+                pairs: 0,
+            } if objects == u32::MAX as usize + 1
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("too large"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn too_many_pairs_error_is_typed() {
+        // 2^31 pairs cannot be materialised in a test, but the guard is a
+        // pure function of the counts — pin the exact boundary: u32::MAX/2
+        // pairs (2·m = u32::MAX - 1 half-edges) is the last valid count.
+        assert!(check_csr_bounds(10, (u32::MAX / 2) as usize).is_ok());
+        assert!(matches!(
+            check_csr_bounds(10, (u32::MAX / 2) as usize + 1),
+            Err(ProblemError::GraphTooLarge { .. })
+        ));
+        assert!(check_csr_bounds(u32::MAX as usize, 0).is_ok());
     }
 }

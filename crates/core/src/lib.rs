@@ -77,6 +77,7 @@ pub mod resilience;
 pub mod resources;
 pub mod rounding;
 pub mod scope;
+pub mod shard;
 pub mod solver;
 
 pub use audit::{audit_placement, CapacityViolation, PlacementAudit, SplitPair};
@@ -107,4 +108,5 @@ pub use rounding::{
     RoundingOutcome,
 };
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
+pub use shard::ShardedGraph;
 pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

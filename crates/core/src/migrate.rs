@@ -483,7 +483,10 @@ pub fn drain_node(
             let fitting: Vec<usize> = (0..n)
                 .filter(|&k| k != node && loads.fits(k, o))
                 .collect();
-            let deltas = graph.move_delta_batch(&placement, o, &fitting);
+            // Dispatched through the problem so a sharded instance walks
+            // its shard row (bit-identical to the flat row for any shard
+            // count).
+            let deltas = problem.eval_move_delta_batch(&placement, o, &fitting);
             let target = *fitting
                 .iter()
                 .zip(&deltas)

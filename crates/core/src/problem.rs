@@ -1,7 +1,9 @@
 //! The Capacity-Constrained Assignment (CCA) problem (paper §2.1).
 
-use crate::graph::CorrelationGraph;
+use crate::graph::{CorrelationGraph, PlacementBatch};
+use crate::placement::Placement;
 use crate::resources::{Resource, ResourceError};
+use crate::shard::ShardedGraph;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -72,6 +74,16 @@ pub enum ProblemError {
     ZeroCapacity,
     /// A secondary resource's vectors do not match the problem dimensions.
     Resource(ResourceError),
+    /// The instance overflows the graph's `u32` CSR indexing: more than
+    /// `u32::MAX / 2` pairs (the `2·m` half-edge slots would wrap the
+    /// offset accumulator and the `EdgeId` casts) or more than `u32::MAX`
+    /// objects. Before this guard the build silently wrapped.
+    GraphTooLarge {
+        /// Object count of the rejected instance.
+        objects: usize,
+        /// Pair count of the rejected instance.
+        pairs: usize,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -87,6 +99,13 @@ impl fmt::Display for ProblemError {
             ProblemError::ZeroSizeObject(o) => write!(f, "object {o} has size zero"),
             ProblemError::ZeroCapacity => f.write_str("every node has zero capacity"),
             ProblemError::Resource(e) => write!(f, "invalid resource: {e}"),
+            ProblemError::GraphTooLarge { objects, pairs } => write!(
+                f,
+                "instance too large for u32 CSR indexing: {pairs} pairs over \
+                 {objects} objects (limits: {} pairs, {} objects)",
+                u32::MAX / 2,
+                u32::MAX
+            ),
         }
     }
 }
@@ -122,6 +141,10 @@ pub struct CcaProblem {
     pairs: Vec<Pair>,
     resources: Vec<Resource>,
     graph: CorrelationGraph,
+    // Opt-in range-sharded view of the same pair list (None by default —
+    // the flat CSR bit-contract is untouched unless sharding is enabled).
+    // Kept in lock-step with `pairs` by `restrict_to` / `prune_pairs`.
+    sharded: Option<ShardedGraph>,
 }
 
 impl CcaProblem {
@@ -185,6 +208,109 @@ impl CcaProblem {
     #[must_use]
     pub fn graph(&self) -> &CorrelationGraph {
         &self.graph
+    }
+
+    /// Enables the range-sharded graph view: builds a [`ShardedGraph`]
+    /// over the current pair list with `shard_count` shards (clamped to
+    /// `[1, num_objects]`), constructing shards in parallel on up to
+    /// `threads` `cca-par` workers. The sharded view is a pure function of
+    /// `(pairs, shard_count)` — the build thread count never changes it.
+    ///
+    /// Once enabled, the `eval_*` dispatchers route bulk cost queries
+    /// through the shards; [`CcaProblem::graph`] and everything built on
+    /// it are unaffected. [`CcaProblem::restrict_to`] and
+    /// [`CcaProblem::prune_pairs`] rebuild the sharded view over the new
+    /// pair list with the same shard count.
+    pub fn set_sharding(&mut self, shard_count: usize, threads: usize) {
+        self.sharded = Some(ShardedGraph::build(
+            self.sizes.len(),
+            &self.pairs,
+            shard_count,
+            threads,
+        ));
+    }
+
+    /// Drops the sharded view; the `eval_*` dispatchers fall back to the
+    /// flat CSR.
+    pub fn clear_sharding(&mut self) {
+        self.sharded = None;
+    }
+
+    /// The range-sharded graph view, if [`CcaProblem::set_sharding`] was
+    /// called.
+    #[must_use]
+    pub fn sharded(&self) -> Option<&ShardedGraph> {
+        self.sharded.as_ref()
+    }
+
+    /// The CCA objective of `placement`, dispatched to the sharded view
+    /// (shard-parallel partials reduced in shard-index order — identical
+    /// for every `threads` value) when sharding is enabled, else the flat
+    /// serial [`CorrelationGraph::cost`]. With sharding disabled, or with
+    /// a single shard, the bits equal the flat serial walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer objects than the problem.
+    #[must_use]
+    pub fn eval_cost(&self, placement: &Placement, threads: usize) -> f64 {
+        match &self.sharded {
+            Some(s) => s.cost(placement, threads),
+            None => self.graph.cost(placement),
+        }
+    }
+
+    /// Batched candidate scoring, dispatched to the sharded view when
+    /// sharding is enabled, else the flat serial
+    /// [`CorrelationGraph::cost_batch`]. Column `c` is deterministic for
+    /// every `threads` value either way; with sharding disabled or a
+    /// single shard it is bit-identical to `cost(batch.placement(c))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch covers fewer objects than the problem.
+    #[must_use]
+    pub fn eval_cost_batch(&self, batch: &PlacementBatch, threads: usize) -> Vec<f64> {
+        match &self.sharded {
+            Some(s) => s.cost_batch(batch, threads),
+            None => self.graph.cost_batch(batch),
+        }
+    }
+
+    /// [`CorrelationGraph::move_delta`] via the sharded view when enabled
+    /// (a shard replicates the flat CSR row of each object it owns, so
+    /// the delta is bit-identical for **any** shard count), else the flat
+    /// row walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn eval_move_delta(&self, placement: &Placement, i: ObjectId, target: usize) -> f64 {
+        match &self.sharded {
+            Some(s) => s.move_delta(placement, i, target),
+            None => self.graph.move_delta(placement, i, target),
+        }
+    }
+
+    /// [`CorrelationGraph::move_delta_batch`] via the sharded view when
+    /// enabled (bit-identical for any shard count, as for
+    /// [`CcaProblem::eval_move_delta`]), else the flat row walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn eval_move_delta_batch(
+        &self,
+        placement: &Placement,
+        i: ObjectId,
+        targets: &[usize],
+    ) -> Vec<f64> {
+        match &self.sharded {
+            Some(s) => s.move_delta_batch(placement, i, targets),
+            None => self.graph.move_delta_batch(placement, i, targets),
+        }
     }
 
     /// Secondary capacity constraints (paper 3.3); empty in the base
@@ -295,6 +421,13 @@ impl CcaProblem {
         // the new (a, b). Both the cost summation order and the LP column
         // order ride on this, so the graph is rebuilt over the list as-is.
         let graph = CorrelationGraph::build(keep.len(), &pairs);
+        // A sharded parent yields a sharded subproblem: same shard count,
+        // rebuilt over the restricted pair list (a pure function of it, so
+        // no thread pool is needed for the typically small subproblem).
+        let sharded = self
+            .sharded
+            .as_ref()
+            .map(|s| ShardedGraph::build(keep.len(), &pairs, s.shard_count(), 1));
         (
             CcaProblem {
                 names,
@@ -303,6 +436,7 @@ impl CcaProblem {
                 pairs,
                 resources: self.resources.iter().map(|r| r.restrict(keep)).collect(),
                 graph,
+                sharded,
             },
             keep.to_vec(),
         )
@@ -345,6 +479,14 @@ impl CcaProblem {
         // left them in (NOT re-sorted by (a, b)); rebuild the CSR view over
         // that exact order.
         self.graph = CorrelationGraph::build(self.sizes.len(), &self.pairs);
+        if let Some(s) = &self.sharded {
+            self.sharded = Some(ShardedGraph::build(
+                self.sizes.len(),
+                &self.pairs,
+                s.shard_count(),
+                1,
+            ));
+        }
         dropped
     }
 }
@@ -476,7 +618,7 @@ impl CcaProblemBuilder {
                 return Err(ProblemError::Resource(e));
             }
         }
-        let graph = CorrelationGraph::build(self.sizes.len(), &pairs);
+        let graph = CorrelationGraph::try_build(self.sizes.len(), &pairs)?;
         Ok(CcaProblem {
             names: self.names.clone(),
             sizes: self.sizes.clone(),
@@ -484,6 +626,7 @@ impl CcaProblemBuilder {
             pairs,
             resources: self.resources.clone(),
             graph,
+            sharded: None,
         })
     }
 }
@@ -655,6 +798,67 @@ mod tests {
         assert_eq!(p.pairs().len(), 1);
         assert!((p.pairs()[0].weight() - 5.0).abs() < 1e-12);
         assert_eq!(p.prune_pairs(5), 0);
+    }
+
+    #[test]
+    fn eval_dispatch_matches_flat_graph_bits() {
+        let mut p = sample();
+        let pl = Placement::new(vec![0, 1, 0], 2);
+        let flat_cost = p.graph().cost(&pl);
+        // Disabled: eval_* are the flat walks.
+        assert_eq!(p.eval_cost(&pl, 4).to_bits(), flat_cost.to_bits());
+        assert!(p.sharded().is_none());
+        // Enabled: same bits on this dyadic-weight instance, for any
+        // shard count and thread count.
+        for shards in [1, 2, 3] {
+            p.set_sharding(shards, 2);
+            assert_eq!(p.sharded().unwrap().shard_count(), shards);
+            assert_eq!(p.eval_cost(&pl, 1).to_bits(), flat_cost.to_bits());
+            assert_eq!(p.eval_cost(&pl, 4).to_bits(), flat_cost.to_bits());
+            let batch = PlacementBatch::from_placements(std::slice::from_ref(&pl));
+            assert_eq!(
+                p.eval_cost_batch(&batch, 2)[0].to_bits(),
+                p.graph().cost_batch(&batch)[0].to_bits()
+            );
+            for i in 0..3 {
+                let i = ObjectId(i);
+                for target in 0..2 {
+                    assert_eq!(
+                        p.eval_move_delta(&pl, i, target).to_bits(),
+                        p.graph().move_delta(&pl, i, target).to_bits()
+                    );
+                }
+                assert_eq!(
+                    p.eval_move_delta_batch(&pl, i, &[0, 1]),
+                    p.graph().move_delta_batch(&pl, i, &[0, 1])
+                );
+            }
+        }
+        p.clear_sharding();
+        assert!(p.sharded().is_none());
+    }
+
+    #[test]
+    fn sharding_propagates_through_restrict_and_prune() {
+        let mut p = sample();
+        p.set_sharding(2, 1);
+        let (sub, _) = p.restrict_to(&[ObjectId(2), ObjectId(0)]);
+        let sub_sharded = sub.sharded().expect("restrict_to must keep sharding");
+        assert_eq!(sub_sharded.shard_count(), 2);
+        assert_eq!(sub_sharded.num_objects(), 2);
+        assert_eq!(sub_sharded.num_edges(), sub.pairs().len());
+        let pl = Placement::new(vec![0, 1], 2);
+        assert_eq!(
+            sub.eval_cost(&pl, 2).to_bits(),
+            sub.graph().cost(&pl).to_bits()
+        );
+        p.prune_pairs(1);
+        let pruned_sharded = p.sharded().expect("prune_pairs must keep sharding");
+        assert_eq!(pruned_sharded.shard_count(), 2);
+        assert_eq!(pruned_sharded.num_edges(), 1);
+        // An unsharded problem stays unsharded through both paths.
+        let q = sample();
+        assert!(q.restrict_to(&[ObjectId(0)]).0.sharded().is_none());
     }
 
     #[test]

@@ -445,7 +445,7 @@ pub fn solve_resilient_with_faults(
             }
         }
         if !batch.is_empty() {
-            let costs = problem.graph().cost_batch(&batch);
+            let costs = problem.eval_cost_batch(&batch, options.threads);
             for (i, slot) in slots.into_iter().enumerate() {
                 if let Some(j) = slot {
                     rung_costs[i] = Some(costs[j]);
@@ -545,8 +545,7 @@ pub fn solve_resilient_with_faults(
             // Batch-of-1 ≡ `cost` (DESIGN §10), so the emergency candidate
             // goes through the same batched ranking path as the rungs.
             let cost = problem
-                .graph()
-                .cost_batch(&PlacementBatch::from_placements(std::slice::from_ref(&p)))[0];
+                .eval_cost_batch(&PlacementBatch::from_placements(std::slice::from_ref(&p)), 1)[0];
             let feasible = p.within_all_capacities(problem, 1.0);
             attempts.push(RungAttempt {
                 rung: Rung::Hash,

@@ -232,8 +232,10 @@ pub fn round_best_of_within(
         produced.truncate(1);
     }
     // One CSR edge walk scores every surviving candidate; column i is
-    // bit-identical to `produced[i].communication_cost(problem)`.
-    let costs = problem.graph().cost_batch(&PlacementBatch::from_placements(&produced));
+    // bit-identical to `produced[i].communication_cost(problem)` (with
+    // sharding enabled the walk runs shard-parallel on the same workers,
+    // with the single-shard case preserving those exact bits).
+    let costs = problem.eval_cost_batch(&PlacementBatch::from_placements(&produced), threads);
     let performed = produced.len();
     let mut best: Option<(bool, f64, f64, usize)> = None;
     for (idx, p) in produced.iter().enumerate() {
@@ -330,9 +332,7 @@ pub fn round_samples_scored(
     if samples.is_empty() {
         return Ok((samples, Vec::new()));
     }
-    let costs = problem
-        .graph()
-        .cost_batch(&PlacementBatch::from_placements(&samples));
+    let costs = problem.eval_cost_batch(&PlacementBatch::from_placements(&samples), threads);
     Ok((samples, costs))
 }
 

@@ -361,6 +361,62 @@ fn wide_interleave_fallback_bit_equals_serial() {
     }
 }
 
+/// Pins the f32/f64 interleave width switch at its exact boundary
+/// (`num_nodes <= 2^24` takes the narrow layout): at `2^24 - 1`, `2^24`
+/// and `2^24 + 1` nodes, every batch column must carry the serial fold's
+/// bits, and columns differing only in top-of-range node ids must stay
+/// distinguishable. The switch is conservative by exactly one: every id
+/// `<= 2^24` is f32-exact (the first unrepresentable integer is
+/// `2^24 + 1`), so correctness needs wide only from `2^24 + 2` nodes on —
+/// this test keeps the cheaper-but-sufficient boundary from drifting in
+/// either direction.
+#[test]
+fn interleave_width_switch_is_exact_at_the_boundary() {
+    let pairs: Vec<Pair> = (0..6u32)
+        .map(|i| Pair {
+            a: ObjectId(i),
+            b: ObjectId(i + 1),
+            correlation: f64::from(i % 8 + 1) / 8.0,
+            comm_cost: f64::from(i + 1),
+        })
+        .collect();
+    let graph = CorrelationGraph::build(7, &pairs);
+    for num_nodes in [(1usize << 24) - 1, 1 << 24, (1 << 24) + 1] {
+        let top = (num_nodes - 1) as u32;
+        // Columns exercising the extreme ids of this node count: all
+        // placements split some edges across ids only the exact layout
+        // can tell apart (top vs top-1 vs 0).
+        let cols: [Vec<u32>; 4] = [
+            vec![top, top - 1, top, top - 1, top, top - 1, top],
+            vec![top, top, top, top - 1, top - 1, top - 1, 0],
+            vec![0, top, 0, top, 0, top, 0],
+            vec![top; 7],
+        ];
+        let pls: Vec<Placement> = cols
+            .iter()
+            .map(|c| Placement::new(c.clone(), num_nodes))
+            .collect();
+        let mut batch = PlacementBatch::new(7, num_nodes);
+        for pl in &pls {
+            batch.push(pl);
+        }
+        let costs = graph.cost_batch(&batch);
+        for (i, pl) in pls.iter().enumerate() {
+            assert_eq!(
+                costs[i].to_bits(),
+                graph.cost(pl).to_bits(),
+                "column {i}: batch diverged from serial walk at {num_nodes} nodes"
+            );
+        }
+        // The all-on-top column never splits an edge: the fold identity
+        // must survive the width switch (and the branchless fix-up).
+        assert_eq!(costs[3].to_bits(), (-0.0f64).to_bits());
+        // Adjacent top ids must not collapse: column 0 splits every edge.
+        let every_edge: f64 = pairs.iter().map(|p| p.weight()).sum();
+        assert_eq!(costs[0].to_bits(), every_edge.to_bits());
+    }
+}
+
 /// Empty and degenerate batches: width 0 scores nothing, and a batch over
 /// a fully co-located column reproduces the `-0.0` sum-fold identity in
 /// every column.

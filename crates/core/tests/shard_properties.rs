@@ -1,0 +1,303 @@
+//! Shard-invariance property battery for [`cca_core::ShardedGraph`]
+//! (DESIGN.md §11).
+//!
+//! Every equality here is **exact** (`==` on raw `f64` bits), not
+//! epsilon-tolerant: the generator draws dyadic-rational weights
+//! (multiples of 1/8 with small magnitudes), so every partial sum is
+//! exactly representable and any reduction the sharded view performs —
+//! for **any** shard count {1, 2, 7, num_objects} at **any** thread
+//! count {1, 2, 8} — must reproduce the flat CSR's bits, not merely
+//! approximate them. This is the same battery pattern as the PR-3
+//! thread-invariance suite: the thread axis must never appear in any
+//! result.
+
+use cca_check::{gen, prop_assert, prop_assert_eq, Checker, Rng, Shrink, StdRng};
+use cca_core::{CcaProblem, ObjectId, Placement, PlacementBatch, ShardedGraph};
+
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/shard_properties.regressions");
+
+/// Shrinkable description of a random CCA instance with dyadic weights
+/// plus a batch of candidate placements over it.
+#[derive(Debug, Clone)]
+struct ShardCase {
+    sizes: Vec<u8>,
+    nodes: usize,
+    /// (a, b, correlation eighths in 1..=8, cost in 1..=16)
+    pairs: Vec<(usize, usize, u8, u8)>,
+    /// Candidate assignments, each reduced modulo `nodes`.
+    candidates: Vec<Vec<u8>>,
+}
+
+impl Shrink for ShardCase {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for pairs in self.pairs.shrink() {
+            out.push(ShardCase { pairs, ..self.clone() });
+        }
+        for candidates in self.candidates.shrink() {
+            if !candidates.is_empty() {
+                out.push(ShardCase { candidates, ..self.clone() });
+            }
+        }
+        for nodes in self.nodes.shrink() {
+            if nodes >= 1 {
+                out.push(ShardCase { nodes, ..self.clone() });
+            }
+        }
+        out
+    }
+}
+
+fn shard_case(rng: &mut StdRng) -> ShardCase {
+    let t = rng.random_range(2usize..14);
+    let sizes = (0..t).map(|_| rng.random_range(1u8..12)).collect();
+    let pairs = gen::vec(rng, 0..t * 3, |r| {
+        (
+            r.random_range(0..t),
+            r.random_range(0..t),
+            r.random_range(1u8..=8),  // correlation = eighths/8 — dyadic
+            r.random_range(1u8..=16), // integral cost
+        )
+    });
+    let nodes = rng.random_range(1usize..5);
+    let k = rng.random_range(1usize..7);
+    let candidates = (0..k)
+        .map(|_| (0..t).map(|_| rng.random_range(0u8..16)).collect())
+        .collect();
+    ShardCase {
+        sizes,
+        nodes,
+        pairs,
+        candidates,
+    }
+}
+
+fn build(c: &ShardCase) -> CcaProblem {
+    let mut b = CcaProblem::builder();
+    let objs: Vec<_> = c
+        .sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| b.add_object(format!("o{i}"), u64::from(s.max(1))))
+        .collect();
+    for &(a, d, eighths, cost) in &c.pairs {
+        let (a, d) = (a % objs.len(), d % objs.len());
+        if a != d {
+            b.add_pair(
+                objs[a],
+                objs[d],
+                f64::from(eighths.clamp(1, 8)) / 8.0,
+                f64::from(cost.max(1)),
+            )
+            .expect("valid pair");
+        }
+    }
+    let nodes = c.nodes.max(1);
+    let total: u64 = c.sizes.iter().map(|&s| u64::from(s.max(1))).sum();
+    b.uniform_capacities(nodes, total + 8)
+        .build()
+        .expect("valid problem")
+}
+
+fn candidate(c: &ShardCase, p: &CcaProblem, idx: usize) -> Placement {
+    let n = p.num_nodes();
+    Placement::new(
+        c.candidates[idx]
+            .iter()
+            .take(p.num_objects())
+            .map(|&k| u32::from(k) % n as u32)
+            .collect(),
+        n,
+    )
+}
+
+/// The shard/thread axes to sweep: the ISSUE's required shard counts
+/// (with `num_objects` substituted at run time) crossed with the PR-3
+/// thread battery.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn shard_counts(num_objects: usize) -> [usize; 4] {
+    [1, 2, 7, num_objects]
+}
+
+/// `ShardedGraph::cost` is bit-identical to the flat serial
+/// [`cca_core::CorrelationGraph::cost`] for every shard count at every
+/// thread count, and the sharded view is structurally consistent
+/// (clamped shard count, edge conservation).
+#[test]
+fn sharded_cost_is_bitwise_flat_cost() {
+    Checker::new("sharded_cost_is_bitwise_flat_cost")
+        .cases(96)
+        .regressions(REGRESSIONS)
+        .run(shard_case, |c| {
+            let p = build(c);
+            let pl = candidate(c, &p, 0);
+            let flat = p.graph().cost(&pl);
+            for shards in shard_counts(p.num_objects()) {
+                let sg = ShardedGraph::build(p.num_objects(), p.pairs(), shards, 2);
+                prop_assert_eq!(sg.shard_count(), shards.clamp(1, p.num_objects()));
+                prop_assert_eq!(sg.num_edges(), p.pairs().len());
+                prop_assert_eq!(sg.num_objects(), p.num_objects());
+                for threads in THREADS {
+                    prop_assert_eq!(
+                        sg.cost(&pl, threads).to_bits(),
+                        flat.to_bits(),
+                        "cost diverged at {shards} shards / {threads} threads: {} != {}",
+                        sg.cost(&pl, threads),
+                        flat
+                    );
+                }
+            }
+            Ok(())
+        });
+}
+
+/// `ShardedGraph::cost_batch` column `c` is bit-identical to the flat
+/// [`cca_core::CorrelationGraph::cost_batch`] column `c` (itself pinned
+/// to the serial per-candidate walk) for every shard count at every
+/// thread count — including the all-colocated `-0.0` identity column.
+#[test]
+fn sharded_cost_batch_is_bitwise_flat_batch() {
+    Checker::new("sharded_cost_batch_is_bitwise_flat_batch")
+        .cases(96)
+        .regressions(REGRESSIONS)
+        .run(shard_case, |c| {
+            let p = build(c);
+            let mut batch = PlacementBatch::new(p.num_objects(), p.num_nodes());
+            for idx in 0..c.candidates.len() {
+                batch.push(&candidate(c, &p, idx));
+            }
+            // Pin the -0.0 identity column explicitly.
+            batch.push(&Placement::new(vec![0; p.num_objects()], p.num_nodes()));
+            let flat = p.graph().cost_batch(&batch);
+            prop_assert_eq!(flat.last().copied().map(f64::to_bits), Some((-0.0f64).to_bits()));
+            for shards in shard_counts(p.num_objects()) {
+                let sg = ShardedGraph::build(p.num_objects(), p.pairs(), shards, 1);
+                for threads in THREADS {
+                    let got = sg.cost_batch(&batch, threads);
+                    prop_assert_eq!(got.len(), flat.len());
+                    for (col, (g, f)) in got.iter().zip(&flat).enumerate() {
+                        prop_assert_eq!(
+                            g.to_bits(),
+                            f.to_bits(),
+                            "column {col} diverged at {shards} shards / {threads} threads: {g} != {f}"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        });
+}
+
+/// `ShardedGraph::move_delta` / `move_delta_batch` replicate the flat
+/// row walks to the bit for any shard count — every (object, target)
+/// combination of the instance.
+#[test]
+fn sharded_move_delta_is_bitwise_flat_row_walk() {
+    Checker::new("sharded_move_delta_is_bitwise_flat_row_walk")
+        .cases(96)
+        .regressions(REGRESSIONS)
+        .run(shard_case, |c| {
+            let p = build(c);
+            let pl = candidate(c, &p, 0);
+            let graph = p.graph();
+            let targets: Vec<usize> = (0..p.num_nodes()).collect();
+            for shards in shard_counts(p.num_objects()) {
+                let sg = ShardedGraph::build(p.num_objects(), p.pairs(), shards, 2);
+                for o in p.objects() {
+                    let flat_batch = graph.move_delta_batch(&pl, o, &targets);
+                    let shard_batch = sg.move_delta_batch(&pl, o, &targets);
+                    for (t, (&f, &s)) in flat_batch.iter().zip(&shard_batch).enumerate() {
+                        prop_assert_eq!(
+                            s.to_bits(),
+                            f.to_bits(),
+                            "move_delta_batch[{t}] of {o:?} diverged at {shards} shards"
+                        );
+                        prop_assert_eq!(
+                            sg.move_delta(&pl, o, t).to_bits(),
+                            graph.move_delta(&pl, o, t).to_bits(),
+                            "move_delta of {o:?} -> {t} diverged at {shards} shards"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        });
+}
+
+/// The `CcaProblem::eval_*` dispatchers with sharding enabled agree with
+/// the flat graph to the bit on dyadic instances, and sharding survives
+/// `restrict_to` with the same guarantees on the subproblem.
+#[test]
+fn problem_dispatch_and_restriction_preserve_bits() {
+    Checker::new("problem_dispatch_and_restriction_preserve_bits")
+        .cases(64)
+        .regressions(REGRESSIONS)
+        .run(shard_case, |c| {
+            let mut p = build(c);
+            let pl = candidate(c, &p, 0);
+            p.set_sharding(3, 2);
+            for threads in THREADS {
+                prop_assert_eq!(
+                    p.eval_cost(&pl, threads).to_bits(),
+                    p.graph().cost(&pl).to_bits()
+                );
+            }
+            // Restrict to a prefix scope; the subproblem keeps sharding
+            // and its dispatch still matches its own flat graph.
+            let scope: Vec<ObjectId> = p.objects().take(p.num_objects().div_ceil(2)).collect();
+            let (sub, _) = p.restrict_to(&scope);
+            let sub_sharded = sub.sharded().expect("sharding must survive restrict_to");
+            prop_assert_eq!(sub_sharded.num_edges(), sub.pairs().len());
+            let sub_pl = Placement::new(
+                (0..sub.num_objects() as u32).map(|i| i % sub.num_nodes() as u32).collect(),
+                sub.num_nodes(),
+            );
+            for threads in THREADS {
+                prop_assert_eq!(
+                    sub.eval_cost(&sub_pl, threads).to_bits(),
+                    sub.graph().cost(&sub_pl).to_bits(),
+                    "restricted dispatch diverged at {threads} threads"
+                );
+            }
+            Ok(())
+        });
+}
+
+/// Sharded builds are a pure function of `(pairs, shard_count)`: the
+/// build thread count never changes structure or any query result, and
+/// shard memory accounting stays within a constant factor of the flat
+/// CSR (each edge is stored once as a column entry and twice as row
+/// entries, same as flat — only fixed per-shard overhead differs).
+#[test]
+fn build_threads_never_change_the_view() {
+    Checker::new("build_threads_never_change_the_view")
+        .cases(64)
+        .regressions(REGRESSIONS)
+        .run(shard_case, |c| {
+            let p = build(c);
+            let pl = candidate(c, &p, 0);
+            for shards in [2usize, 7] {
+                let reference = ShardedGraph::build(p.num_objects(), p.pairs(), shards, 1);
+                for build_threads in [2usize, 8] {
+                    let other =
+                        ShardedGraph::build(p.num_objects(), p.pairs(), shards, build_threads);
+                    prop_assert_eq!(other.shard_count(), reference.shard_count());
+                    prop_assert_eq!(other.memory_bytes(), reference.memory_bytes());
+                    prop_assert_eq!(
+                        other.cost(&pl, 1).to_bits(),
+                        reference.cost(&pl, 1).to_bits(),
+                        "build threads changed a query result at {shards} shards"
+                    );
+                }
+            }
+            prop_assert!(
+                ShardedGraph::build(p.num_objects(), p.pairs(), 1, 1).memory_bytes()
+                    <= p.graph().memory_bytes(),
+                "a single shard must not out-weigh the flat CSR (which also \
+                 carries precomputed orders)"
+            );
+            Ok(())
+        });
+}

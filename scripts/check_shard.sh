@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Verifies the sharded-CSR layer end to end (DESIGN.md §11):
+#   1. clippy is clean (-D warnings) on every crate the sharding work
+#      touches (core, trace, bench, the root crate);
+#   2. the shard unit tests and the shard-invariance property suite pass
+#      (shard counts {1, 2, 7, n} x threads {1, 2, 8} bit-identical to
+#      the flat CSR; problem dispatch and restriction preserve bits);
+#   3. the interleave-boundary pins hold (f32/f64 switch exact at
+#      2^24 +/- 1 nodes) and the generator-scale sampler regressions
+#      pass (Zipf / WeightedSampler exact at n = 10^6);
+#   4. the CLI --shards taxonomy holds (byte-identical output across
+#      shard and thread counts, 0/2/3 exit codes under sharding);
+#   5. the shard bench runs in quick mode (which itself hard-asserts
+#      bit identity of every sharded cost/batch/delta vs. the flat CSR,
+#      including the > 2^24-node f64 interleave regime) and writes JSON;
+#   6. the committed BENCH_shard.json is a full (non-quick) 10^6-object
+#      / 10^7-edge run with all bits_match true and throughput above
+#      conservative floors.
+#
+# Run from anywhere inside the repo:
+#   scripts/check_shard.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== shard check: clippy -D warnings on touched crates =="
+cargo clippy -q -p cca-core -p cca-trace -p cca-bench -p cca \
+  --all-targets -- -D warnings
+
+echo
+echo "== shard check: shard unit tests =="
+cargo test -q -p cca-core --lib shard
+
+echo
+echo "== shard check: shard-invariance property suite =="
+cargo test -q -p cca-core --test shard_properties
+
+echo
+echo "== shard check: interleave-boundary pins (2^24 +/- 1) =="
+cargo test -q -p cca-core --test batch_properties interleave_width
+
+echo
+echo "== shard check: generator-scale sampler regressions =="
+cargo test -q -p cca-trace million
+cargo test -q -p cca-trace instance
+
+echo
+echo "== shard check: CLI --shards taxonomy =="
+cargo test -q -p cca --test cli shard
+
+echo
+echo "== shard check: quick bench smoke (hard-asserts bit identity) =="
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+CCA_BENCH_QUICK=1 CCA_BENCH_OUT="$smoke_out" \
+  cargo bench -q -p cca-bench --bench placement_shard
+test -s "$smoke_out" || { echo "bench smoke wrote no JSON"; exit 1; }
+
+echo
+echo "== shard check: committed BENCH_shard.json =="
+test -f BENCH_shard.json || { echo "BENCH_shard.json is missing"; exit 1; }
+grep -q '"bench": "placement_shard"' BENCH_shard.json
+grep -q '"name": "zipf-1m"' BENCH_shard.json
+grep -q '"objects": 1000000' BENCH_shard.json
+grep -q '"edges": 10000000' BENCH_shard.json
+# The committed baseline must be a full (non-quick) run.
+grep -q '"quick": false' BENCH_shard.json || {
+  echo "BENCH_shard.json was written by a quick run; re-run: cargo bench -p cca-bench --bench placement_shard"
+  exit 1
+}
+# Every sharded row and the wide-interleave probe must have matched the
+# flat CSR to the bit when the baseline was recorded.
+if grep -q '"bits_match": false' BENCH_shard.json; then
+  echo "ERROR: committed BENCH_shard.json records a bit-identity break" >&2
+  exit 1
+fi
+grep -q '"wide_interleave": {"num_nodes": 16777217, "bits_match": true}' \
+  BENCH_shard.json
+echo "OK: full-scale baseline present, bits_match all-true."
+
+echo
+echo "== shard check: throughput floors on the committed baseline =="
+# Conservative floors (~25-35% of the recording host's measurements) so
+# the gate trips on a real regression, not on host-to-host noise. At
+# 10^7 edges: every sharded build must clear 1 Medge/s and every sharded
+# eval 50 Medges/s; the flat baseline build (a full sort-based CSR
+# construction, inherently slower) must clear 0.2 Medges/s.
+awk '
+  /"shards":/ {
+    if (match($0, /"build_medges_per_s": [0-9.]+/)) {
+      v = substr($0, RSTART + 22, RLENGTH - 22) + 0
+      if (v < 1.0) { bad = 1 }
+    }
+    if (match($0, /"eval_medges_per_s": [0-9.]+/)) {
+      v = substr($0, RSTART + 21, RLENGTH - 21) + 0
+      if (v < 50.0) { bad = 1 }
+    }
+  }
+  /"flat":/ {
+    if (match($0, /"build_medges_per_s": [0-9.]+/)) {
+      v = substr($0, RSTART + 22, RLENGTH - 22) + 0
+      if (v < 0.2) { bad = 1 }
+    }
+  }
+  END { exit bad ? 1 : 0 }
+' BENCH_shard.json || {
+  echo "ERROR: committed BENCH_shard.json is below the throughput floors" >&2
+  echo "       (sharded build >= 1 Medge/s, sharded eval >= 50 Medges/s," >&2
+  echo "        flat build >= 0.2 Medges/s)" >&2
+  exit 1
+}
+echo "OK: committed throughput clears the floors on every row."
+
+echo
+echo "== shard check: shard-parallel speedup gate =="
+CORES="$(nproc 2>/dev/null || echo 1)"
+if [[ "$CORES" -ge 8 ]]; then
+    # On a real multicore host, 2 build threads must beat 1 for the
+    # 7-shard rows of the committed baseline.
+    SPEEDUP_OK="$(awk '
+        /"shards": 7, "threads": 1,/ {
+            if (match($0, /"build_ms": [0-9.]+/))
+                t1 = substr($0, RSTART + 12, RLENGTH - 12) + 0
+        }
+        /"shards": 7, "threads": 2,/ {
+            if (match($0, /"build_ms": [0-9.]+/))
+                t2 = substr($0, RSTART + 12, RLENGTH - 12) + 0
+        }
+        END { print (t1 > 0 && t2 > 0 && t2 < t1) ? "yes" : "no" }
+    ' BENCH_shard.json)"
+    if [[ "$SPEEDUP_OK" != "yes" ]]; then
+        echo "ERROR: host has $CORES cores but the 7-shard build is not" >&2
+        echo "       faster with 2 threads — shard parallelism regressed" >&2
+        exit 1
+    fi
+    echo "OK: 7-shard build speeds up with threads on this $CORES-core host."
+else
+    echo "SKIP: host has $CORES core(s); shard speedup is physics-bounded."
+    echo "      Bit identity (checked above) is the binding contract here."
+fi
+
+echo
+echo "shard check: OK"

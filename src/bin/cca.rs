@@ -59,6 +59,7 @@ struct Args {
     deadline_ms: Option<u64>,
     min_strategy: Option<String>,
     threads: Option<usize>,
+    shards: Option<usize>,
     capacity_factor: Option<f64>,
     out: Option<String>,
     placement: Option<String>,
@@ -76,6 +77,7 @@ impl Default for Args {
             deadline_ms: None,
             min_strategy: None,
             threads: None,
+            shards: None,
             capacity_factor: None,
             out: None,
             placement: None,
@@ -107,6 +109,9 @@ fn usage() -> &'static str {
                               lprr|partial-lprr|greedy|hash (place only)\n\
        --threads N            worker threads for the solve (default: all\n\
                               cores; results are identical for any N)\n\
+       --shards N             evaluate costs on an N-shard graph view\n\
+                              (place/probe; results are identical for\n\
+                              any N, and --shards 1 equals no sharding)\n\
        --capacity-factor F    per-node capacity as a multiple of the\n\
                               average load (default 2.0, as in the paper)\n\
        --out FILE             output path (place/workload/export-lp/probe)\n\
@@ -149,6 +154,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
                 args.threads = Some(n);
+            }
+            "--shards" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.shards = Some(n);
             }
             "--capacity-factor" => {
                 let f: f64 = value()?
@@ -193,7 +205,15 @@ fn build_pipeline(args: &Args) -> Result<Pipeline, String> {
         "building {} workload (seed {}, {} nodes)...",
         args.preset, args.seed, args.nodes
     );
-    Ok(Pipeline::build(&config))
+    let mut p = Pipeline::build(&config);
+    if let Some(n) = args.shards {
+        // Bulk cost evaluation (rounding ranking, ladder ranking,
+        // migrate/repair scoring, probe candidate scoring via the scoped
+        // subproblem) runs shard-parallel; every result is bit-identical
+        // to the unsharded run on these dyadic-weight workloads.
+        p.problem.set_sharding(n, args.threads());
+    }
+    Ok(p)
 }
 
 fn strategy(name: &str, threads: usize) -> Result<Strategy, String> {

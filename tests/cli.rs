@@ -203,6 +203,103 @@ fn threads_option_rejects_zero() {
 }
 
 #[test]
+fn shards_option_rejects_zero() {
+    let (code, _, stderr) = run_code(&["place", "--preset", "tiny", "--shards", "0"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--shards must be at least 1"), "stderr: {stderr}");
+}
+
+/// The sharded-graph determinism contract at the CLI surface: with a
+/// fixed `--shards` count the `place` report is byte-identical for any
+/// `--threads` value, and `--shards 1` is byte-identical to running with
+/// no sharding at all.
+#[test]
+fn sharded_place_is_identical_across_thread_counts_and_to_flat() {
+    let base = [
+        "place", "--preset", "tiny", "--nodes", "3", "--scope", "40", "--strategy", "lprr",
+        "--seed", "11",
+    ];
+    let flat = {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", "1"]);
+        run_code(&args)
+    };
+    assert!(flat.0 == 0 || flat.0 == 3, "flat run: code {}\n{}", flat.0, flat.1);
+    // --shards 1 ≡ no flag, to the byte.
+    let single = {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", "1", "--shards", "1"]);
+        run_code(&args)
+    };
+    assert_eq!(single.0, flat.0, "--shards 1 changed the exit code");
+    assert_eq!(single.1, flat.1, "--shards 1 changed the report");
+    // Fixed shard count, swept thread counts: byte-identical reports —
+    // and identical to the flat run (dyadic workload weights make every
+    // shard reduction exact).
+    for shards in ["2", "7"] {
+        for threads in ["1", "2", "8"] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads, "--shards", shards]);
+            let (code, stdout, stderr) = run_code(&args);
+            assert_eq!(
+                code, flat.0,
+                "shards {shards} threads {threads}: exit code changed\nstderr: {stderr}"
+            );
+            assert_eq!(
+                stdout, flat.1,
+                "shards {shards} threads {threads}: report changed"
+            );
+        }
+    }
+}
+
+/// The exit-code taxonomy (0 ok / 2 degraded / 3 infeasible) holds
+/// under sharded evaluation.
+#[test]
+fn exit_codes_hold_under_sharding() {
+    // Generous deadline: the LPRR rung wins cleanly.
+    let (code, stdout, stderr) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "60000",
+        "--threads", "2", "--shards", "2",
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("selected: lprr"));
+
+    // Expired deadline: degraded to hash, code 2.
+    let (code, stdout, _) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "0",
+        "--threads", "2", "--shards", "2",
+    ]);
+    assert_eq!(code, 2, "stdout: {stdout}");
+    assert!(stdout.contains("selected: hash (degraded)"));
+
+    // Starved capacities: infeasible everywhere, code 3.
+    let (code, stdout, _) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "3", "--deadline-ms", "60000",
+        "--capacity-factor", "0.4", "--threads", "2", "--shards", "2",
+    ]);
+    assert_eq!(code, 3, "stdout: {stdout}");
+    assert!(stdout.contains("VIOLATION"), "stdout: {stdout}");
+}
+
+/// `probe` accepts `--shards` (candidate scoring runs on the sharded
+/// subproblem via scope restriction) and stays deterministic.
+#[test]
+fn sharded_probe_matches_flat_probe() {
+    let base = [
+        "probe", "--preset", "tiny", "--nodes", "3", "--scope", "30", "--candidates", "4",
+        "--seed", "5", "--threads", "2",
+    ];
+    let flat = run_code(&base);
+    assert!(flat.0 == 0 || flat.0 == 3, "probe: code {}\n{}", flat.0, flat.1);
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--shards", "3"]);
+    let sharded = run_code(&args);
+    assert_eq!(sharded.0, flat.0, "--shards changed the probe exit code");
+    assert_eq!(sharded.1, flat.1, "--shards changed the probe report");
+}
+
+#[test]
 fn resilient_place_validates_rung_names() {
     let (code, _, stderr) = run_code(&[
         "place", "--preset", "tiny", "--min-strategy", "telepathy",
