@@ -60,6 +60,7 @@
 
 pub mod audit;
 pub mod cluster;
+pub mod controller;
 pub mod error;
 pub mod exact;
 pub mod figure4;
@@ -82,12 +83,19 @@ pub mod solver;
 
 pub use audit::{audit_placement, CapacityViolation, PlacementAudit, SplitPair};
 pub use cluster::{capacity_bounded_clusters, inter_cluster_weight};
+pub use controller::{
+    quantize_estimate, Controller, ControllerConfig, ControllerReport, EpochObservation,
+    EpochOutcome, FaultRecovery,
+};
 pub use exact::{exact_placement, ExactOptions};
 pub use fractional::FractionalPlacement;
 pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost, PlacementBatch};
 pub use greedy::greedy_placement;
 pub use migrate::{drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome};
-pub use persist::{format_placement, read_placement, write_placement};
+pub use persist::{
+    format_controller_report, format_placement, read_controller_report, read_placement,
+    write_controller_report, write_placement,
+};
 pub use placement::Placement;
 pub use problem::{CcaProblem, CcaProblemBuilder, ObjectId, Pair, ProblemError};
 pub use random::random_hash_placement;

@@ -1,10 +1,16 @@
-//! Plain-text persistence for placements.
+//! Plain-text persistence for placements and controller reports.
 //!
-//! Format (`# cca-placement v1`): one `object-name<TAB>node` line per
-//! object, in object-id order. Names make the file robust against object
-//! reordering between the writing and reading problem instances: loading
-//! matches by name, not by position.
+//! Placement format (`# cca-placement v1`): one `object-name<TAB>node`
+//! line per object, in object-id order. Names make the file robust
+//! against object reordering between the writing and reading problem
+//! instances: loading matches by name, not by position.
+//!
+//! Controller-report format (`# cca-controller-report v1`): one
+//! `key<TAB>value` line per [`ControllerReport`] field in declaration
+//! order. Floats round-trip through Rust's shortest exact decimal
+//! `Display`, so a written report re-reads bit for bit.
 
+use crate::controller::ControllerReport;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
 use std::collections::HashMap;
@@ -173,6 +179,167 @@ pub fn read_placement<R: Read>(
     Ok(Placement::new(assignment, nodes))
 }
 
+/// Field order of the v1 controller-report format (also the write order).
+const REPORT_KEYS: [&str; 19] = [
+    "epochs",
+    "queries",
+    "evaluated",
+    "migrations",
+    "objects_moved",
+    "migrated_bytes",
+    "rejected_not_worthwhile",
+    "rejected_not_robust",
+    "degradations",
+    "solve_retries",
+    "repairs",
+    "repair_retries",
+    "repair_moves",
+    "repair_bytes",
+    "node_losses",
+    "unrecovered_losses",
+    "accumulated_loss",
+    "final_cost",
+    "final_feasible",
+];
+
+/// Serialises a [`ControllerReport`] in the v1 text format.
+#[must_use]
+pub fn format_controller_report(report: &ControllerReport) -> String {
+    let mut out = String::from("# cca-controller-report v1\n");
+    let u = [
+        report.epochs,
+        report.queries,
+        report.evaluated,
+        report.migrations,
+        report.objects_moved,
+        report.migrated_bytes,
+        report.rejected_not_worthwhile,
+        report.rejected_not_robust,
+        report.degradations,
+        report.solve_retries,
+        report.repairs,
+        report.repair_retries,
+        report.repair_moves,
+        report.repair_bytes,
+        report.node_losses,
+        report.unrecovered_losses,
+    ];
+    for (key, value) in REPORT_KEYS.iter().zip(u) {
+        let _ = writeln!(out, "{key}\t{value}");
+    }
+    let _ = writeln!(out, "accumulated_loss\t{}", report.accumulated_loss);
+    let _ = writeln!(out, "final_cost\t{}", report.final_cost);
+    let _ = writeln!(out, "final_feasible\t{}", report.final_feasible);
+    out
+}
+
+/// Writes a controller report in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_controller_report<W: Write>(
+    mut writer: W,
+    report: &ControllerReport,
+) -> Result<(), PersistError> {
+    writer.write_all(format_controller_report(report).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a v1 controller report.
+///
+/// # Errors
+///
+/// Fails on malformed input, unknown/duplicate/missing keys, or
+/// unparsable values.
+pub fn read_controller_report<R: Read>(reader: R) -> Result<ControllerReport, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.ok_or(PersistError::Format {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    if header.trim() != "# cca-controller-report v1" {
+        return Err(PersistError::Format {
+            line: 1,
+            message: format!("bad header {header:?}"),
+        });
+    }
+    let mut values: HashMap<String, String> = HashMap::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (key, value) = trimmed.split_once('\t').ok_or(PersistError::Format {
+            line: line_no,
+            message: "expected key<TAB>value".into(),
+        })?;
+        if !REPORT_KEYS.contains(&key) {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("unknown key {key:?}"),
+            });
+        }
+        if values.insert(key.to_string(), value.to_string()).is_some() {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("duplicate key {key:?}"),
+            });
+        }
+    }
+    let get = |key: &str| {
+        values.get(key).ok_or(PersistError::Format {
+            line: 0,
+            message: format!("missing key {key:?}"),
+        })
+    };
+    let parse_u64 = |key: &str| -> Result<u64, PersistError> {
+        get(key)?.parse().map_err(|_| PersistError::Format {
+            line: 0,
+            message: format!("invalid integer for {key:?}"),
+        })
+    };
+    let parse_f64 = |key: &str| -> Result<f64, PersistError> {
+        get(key)?.parse().map_err(|_| PersistError::Format {
+            line: 0,
+            message: format!("invalid number for {key:?}"),
+        })
+    };
+    let final_feasible = match get("final_feasible")?.as_str() {
+        "true" => true,
+        "false" => false,
+        other => {
+            return Err(PersistError::Format {
+                line: 0,
+                message: format!("invalid bool {other:?} for \"final_feasible\""),
+            })
+        }
+    };
+    Ok(ControllerReport {
+        epochs: parse_u64("epochs")?,
+        queries: parse_u64("queries")?,
+        evaluated: parse_u64("evaluated")?,
+        migrations: parse_u64("migrations")?,
+        objects_moved: parse_u64("objects_moved")?,
+        migrated_bytes: parse_u64("migrated_bytes")?,
+        rejected_not_worthwhile: parse_u64("rejected_not_worthwhile")?,
+        rejected_not_robust: parse_u64("rejected_not_robust")?,
+        degradations: parse_u64("degradations")?,
+        solve_retries: parse_u64("solve_retries")?,
+        repairs: parse_u64("repairs")?,
+        repair_retries: parse_u64("repair_retries")?,
+        repair_moves: parse_u64("repair_moves")?,
+        repair_bytes: parse_u64("repair_bytes")?,
+        node_losses: parse_u64("node_losses")?,
+        unrecovered_losses: parse_u64("unrecovered_losses")?,
+        accumulated_loss: parse_f64("accumulated_loss")?,
+        final_cost: parse_f64("final_cost")?,
+        final_feasible,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +404,61 @@ mod tests {
         // Duplicate assignment.
         let dup = "# cca-placement v1 nodes=3 objects=8\nkw0\t1\nkw0\t2\n";
         assert!(read_placement(dup.as_bytes(), &p).is_err());
+    }
+
+    fn report() -> ControllerReport {
+        ControllerReport {
+            epochs: 10_000,
+            queries: 640_000,
+            evaluated: 625,
+            migrations: 12,
+            objects_moved: 480,
+            migrated_bytes: 123_456,
+            rejected_not_worthwhile: 600,
+            rejected_not_robust: 13,
+            degradations: 2,
+            solve_retries: 2,
+            repairs: 1,
+            repair_retries: 1,
+            repair_moves: 37,
+            repair_bytes: 9_999,
+            node_losses: 1,
+            unrecovered_losses: 0,
+            accumulated_loss: 1234.5678901234567,
+            final_cost: 0.1 + 0.2, // deliberately non-representable decimal
+            final_feasible: true,
+        }
+    }
+
+    #[test]
+    fn controller_report_round_trips_bit_exact() {
+        let r = report();
+        let text = format_controller_report(&r);
+        assert!(text.starts_with("# cca-controller-report v1\n"));
+        let parsed = read_controller_report(text.as_bytes()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert_eq!(
+            parsed.final_cost.to_bits(),
+            r.final_cost.to_bits(),
+            "shortest-decimal Display must round-trip floats exactly"
+        );
+        let mut buf = Vec::new();
+        write_controller_report(&mut buf, &r).expect("write");
+        assert_eq!(read_controller_report(buf.as_slice()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_controller_reports_are_rejected() {
+        for text in [
+            "",
+            "not a header\nepochs\t1\n",
+            "# cca-controller-report v1\nepochs one\n",      // no tab
+            "# cca-controller-report v1\nepochs\tone\n",     // bad integer
+            "# cca-controller-report v1\nmystery\t1\n",      // unknown key
+            "# cca-controller-report v1\nepochs\t1\nepochs\t2\n", // duplicate
+            "# cca-controller-report v1\nepochs\t1\n",       // missing keys
+        ] {
+            assert!(read_controller_report(text.as_bytes()).is_err(), "{text:?}");
+        }
     }
 }

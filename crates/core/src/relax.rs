@@ -592,7 +592,7 @@ fn solve_by_cutting_planes(
                 stop = StopReason::IterationCap;
                 break;
             }
-            Err(LpError::DeadlineExceeded { iterations }) if best.is_some() => {
+            Err(LpError::DeadlineExceeded { iterations, .. }) if best.is_some() => {
                 lp_iterations += iterations;
                 stop = StopReason::Deadline;
                 break;

@@ -88,6 +88,11 @@ pub enum LpError {
     DeadlineExceeded {
         /// Number of simplex iterations performed.
         iterations: u64,
+        /// Wall-clock milliseconds elapsed since the solve started.
+        elapsed_ms: u64,
+        /// Milliseconds of budget the solve was granted (solve start to
+        /// deadline).
+        budget_ms: u64,
     },
     /// The objective made no progress for
     /// [`SolverOptions::stall_iteration_limit`] consecutive iterations —
@@ -95,6 +100,9 @@ pub enum LpError {
     Stalled {
         /// Number of simplex iterations performed.
         iterations: u64,
+        /// Consecutive iterations without objective progress when the
+        /// watchdog fired.
+        stalled_for: u64,
     },
     /// The solver encountered numerical trouble it could not recover from.
     Numerical(String),
@@ -110,11 +118,26 @@ impl fmt::Display for LpError {
             LpError::IterationLimit { iterations } => {
                 write!(f, "iteration limit reached after {iterations} iterations")
             }
-            LpError::DeadlineExceeded { iterations } => {
-                write!(f, "deadline exceeded after {iterations} iterations")
+            LpError::DeadlineExceeded {
+                iterations,
+                elapsed_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded after {iterations} iterations \
+                     ({elapsed_ms} ms elapsed, budget {budget_ms} ms)"
+                )
             }
-            LpError::Stalled { iterations } => {
-                write!(f, "objective stalled after {iterations} iterations")
+            LpError::Stalled {
+                iterations,
+                stalled_for,
+            } => {
+                write!(
+                    f,
+                    "objective stalled after {iterations} iterations \
+                     ({stalled_for} consecutive without progress)"
+                )
             }
             LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
             LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
@@ -446,12 +469,40 @@ mod tests {
             LpError::Infeasible,
             LpError::Unbounded,
             LpError::IterationLimit { iterations: 5 },
-            LpError::DeadlineExceeded { iterations: 5 },
-            LpError::Stalled { iterations: 5 },
+            LpError::DeadlineExceeded {
+                iterations: 5,
+                elapsed_ms: 12,
+                budget_ms: 10,
+            },
+            LpError::Stalled {
+                iterations: 5,
+                stalled_for: 3,
+            },
             LpError::Numerical("x".into()),
             LpError::InvalidModel("y".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn budget_errors_report_elapsed_and_stall_detail() {
+        let deadline = LpError::DeadlineExceeded {
+            iterations: 160,
+            elapsed_ms: 57,
+            budget_ms: 50,
+        };
+        assert_eq!(
+            deadline.to_string(),
+            "deadline exceeded after 160 iterations (57 ms elapsed, budget 50 ms)"
+        );
+        let stalled = LpError::Stalled {
+            iterations: 900,
+            stalled_for: 64,
+        };
+        assert_eq!(
+            stalled.to_string(),
+            "objective stalled after 900 iterations (64 consecutive without progress)"
+        );
     }
 }

@@ -25,6 +25,8 @@ struct Eta {
 struct Simplex<'a> {
     sf: &'a StandardForm,
     opts: &'a SolverOptions,
+    /// Solve start, for elapsed-vs-budget accounting in deadline errors.
+    started: std::time::Instant,
     basis: Vec<usize>,
     in_basis: Vec<bool>,
     /// Values of the basic variables, indexed by basis position.
@@ -51,6 +53,7 @@ impl<'a> Simplex<'a> {
         let mut s = Simplex {
             sf,
             opts,
+            started: std::time::Instant::now(),
             basis,
             in_basis,
             xb: vec![0.0; sf.m],
@@ -218,6 +221,10 @@ impl<'a> Simplex<'a> {
                 if self.iterations.is_multiple_of(16) && std::time::Instant::now() >= deadline {
                     return Err(LpError::DeadlineExceeded {
                         iterations: self.iterations,
+                        elapsed_ms: self.started.elapsed().as_millis() as u64,
+                        budget_ms: deadline
+                            .saturating_duration_since(self.started)
+                            .as_millis() as u64,
                     });
                 }
             }
@@ -247,6 +254,7 @@ impl<'a> Simplex<'a> {
                     if stalled_for >= self.opts.stall_iteration_limit {
                         return Err(LpError::Stalled {
                             iterations: self.iterations,
+                            stalled_for,
                         });
                     }
                 } else {

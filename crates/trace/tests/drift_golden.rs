@@ -1,0 +1,93 @@
+//! Golden test for the drift model (`QueryModel::drifted`).
+//!
+//! The online controller's byte-identity guarantee (DESIGN.md §12) rests
+//! on the drifted query stream being a pure function of the seed: if the
+//! log-normal perturbation ever changes — a different normal sampler, a
+//! reordered RNG draw, a refactor of the weight loop — every pinned
+//! controller report silently shifts. This test pins the drifted
+//! `phrase_weights` *bit patterns* for one fixed seed so such a change
+//! fails loudly here, next to the cause, instead of in a controller soak.
+//!
+//! If a deliberate drift-model change lands, regenerate the constants by
+//! printing `to_bits()` under the parameters below and update this file in
+//! the same commit.
+
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
+use cca_trace::{DriftConfig, QueryModel, TraceConfig, Vocabulary};
+
+/// Builds the fixed base model: `TraceConfig::tiny()` generated from seed
+/// `0xd21f` (vocabulary first, then the query model, sharing one stream).
+fn base_model() -> QueryModel {
+    let cfg = TraceConfig::tiny();
+    let mut rng = StdRng::seed_from_u64(0xd21f);
+    let vocab = Vocabulary::generate(&cfg, &mut rng);
+    QueryModel::generate(&cfg, &vocab, &mut rng)
+}
+
+/// Order-sensitive digest of the full weight vector: rotate-xor over the
+/// IEEE-754 bit patterns, so any single-bit change in any weight flips it.
+fn weight_digest(model: &QueryModel) -> u64 {
+    model
+        .phrase_weights
+        .iter()
+        .fold(0u64, |acc, w| acc.rotate_left(7) ^ w.to_bits())
+}
+
+#[test]
+fn drifted_weights_are_bit_identical_to_the_golden_run() {
+    let model = base_model();
+    let mut drift_rng = StdRng::seed_from_u64(0x00d2_1f70);
+    let drifted = model.drifted(DriftConfig { sigma: 0.02 }, &mut drift_rng);
+
+    assert_eq!(drifted.phrase_weights.len(), 40);
+    const GOLDEN_HEAD: [u64; 8] = [
+        0x3fc2dd3b83bb335e,
+        0x3fb71085612ca87b,
+        0x3fb0d318983583b1,
+        0x3fab29bdfecc95cf,
+        0x3fa6c8aa8efa6d38,
+        0x3fa3adfd8948f1ea,
+        0x3fa1653dbc7d8316,
+        0x3fa0802817fdb58d,
+    ];
+    for (i, golden) in GOLDEN_HEAD.iter().enumerate() {
+        assert_eq!(
+            drifted.phrase_weights[i].to_bits(),
+            *golden,
+            "weight {i} drifted away from the golden bit pattern"
+        );
+    }
+    assert_eq!(weight_digest(&drifted), 0xb04f_f121_1005_1c9f);
+
+    // A second cumulative month from the same stream — pins both the
+    // multiplicative composition and the RNG draw order across calls.
+    let second = drifted.drifted(DriftConfig { sigma: 0.02 }, &mut drift_rng);
+    assert_eq!(weight_digest(&second), 0x8c33_6837_529d_1b10);
+}
+
+#[test]
+fn drift_is_a_pure_function_of_the_seed() {
+    let model = base_model();
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        model.drifted(DriftConfig { sigma: 0.02 }, &mut rng)
+    };
+    let (a, b) = (run(7), run(7));
+    assert_eq!(a.phrase_weights.len(), b.phrase_weights.len());
+    for (x, y) in a.phrase_weights.iter().zip(&b.phrase_weights) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    // ... and actually depends on it.
+    let c = run(8);
+    assert_ne!(weight_digest(&a), weight_digest(&c));
+}
+
+#[test]
+fn drift_preserves_structure_and_positivity() {
+    let model = base_model();
+    let mut rng = StdRng::seed_from_u64(11);
+    let drifted = model.drifted(DriftConfig { sigma: 0.3 }, &mut rng);
+    assert_eq!(model.phrases, drifted.phrases);
+    assert!(drifted.phrase_weights.iter().all(|w| *w > 0.0));
+}

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Verifies the online re-optimization controller end to end
+# (DESIGN.md §12):
+#   1. clippy is clean (-D warnings) on every crate the controller work
+#      touches (core, lp, trace, bench, the root crate);
+#   2. the controller unit tests, the persisted-report round-trip tests,
+#      the drift golden pins, and the online integration suite pass
+#      (counter partition, accumulated-loss monotonicity, byte identity
+#      across threads {1, 2, 8} x shards {1, 2, 7});
+#   3. the CLI `run` taxonomy holds (0 clean / 2 degraded, report shape,
+#      byte-identical output across thread and shard counts, degenerate
+#      flags rejected at parse time);
+#   4. a release-mode chaos soak survives injected node losses: exit
+#      code 0 or 2, never a panic, with a byte-identity spot check
+#      against a differently-threaded rerun;
+#   5. the quick-mode soak bench runs (hard-asserting the counter
+#      invariant, repair convergence, and flat-vs-sharded determinism)
+#      and writes JSON;
+#   6. the committed BENCH_controller.json is a full (non-quick)
+#      10^4-epoch run with the invariant intact, both repairs
+#      converged, determinism recorded, and throughput above a
+#      conservative floor.
+#
+# Run from anywhere inside the repo:
+#   scripts/check_controller.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== controller check: clippy -D warnings on touched crates =="
+cargo clippy -q -p cca-core -p cca-lp -p cca-trace -p cca-bench -p cca \
+  --all-targets -- -D warnings
+
+echo
+echo "== controller check: controller unit tests =="
+cargo test -q -p cca-core --lib controller
+
+echo
+echo "== controller check: report persistence round-trip =="
+cargo test -q -p cca-core --lib persist
+
+echo
+echo "== controller check: drift golden pins =="
+cargo test -q -p cca-trace --test drift_golden
+
+echo
+echo "== controller check: online integration suite =="
+cargo test -q -p cca --test controller
+
+echo
+echo "== controller check: CLI run taxonomy =="
+cargo test -q -p cca --test cli online_run
+cargo test -q -p cca --test cli count_options_reject_zero_uniformly
+
+echo
+echo "== controller check: release chaos soak (exit 0/2, never a panic) =="
+cargo build -q --release --bin cca
+soak_a="$(mktemp)"
+soak_b="$(mktemp)"
+trap 'rm -f "$soak_a" "$soak_b"' EXIT
+set +e
+./target/release/cca run --preset small --epochs 2000 --seed 42 \
+  --drop-nodes 2 --threads 2 > "$soak_a"
+code_a=$?
+./target/release/cca run --preset small --epochs 2000 --seed 42 \
+  --drop-nodes 2 --threads 8 --shards 7 > "$soak_b"
+code_b=$?
+set -e
+for code in "$code_a" "$code_b"; do
+  if [ "$code" -ne 0 ] && [ "$code" -ne 2 ]; then
+    echo "ERROR: chaos soak exited $code (want 0 or 2)" >&2
+    exit 1
+  fi
+done
+if [ "$code_a" -ne "$code_b" ]; then
+  echo "ERROR: exit code changed with thread/shard count ($code_a vs $code_b)" >&2
+  exit 1
+fi
+if ! cmp -s "$soak_a" "$soak_b"; then
+  echo "ERROR: chaos soak report differs across thread/shard counts" >&2
+  exit 1
+fi
+grep -q '^node_losses	2$' "$soak_a" || {
+  echo "ERROR: chaos soak did not record both node losses" >&2; exit 1; }
+grep -q '^unrecovered_losses	0$' "$soak_a" || {
+  echo "ERROR: chaos soak left a node loss unrepaired" >&2; exit 1; }
+grep -q '^final_feasible	true$' "$soak_a" || {
+  echo "ERROR: chaos soak ended infeasible" >&2; exit 1; }
+echo "OK: soak exited $code_a, byte-identical across configs, repairs converged."
+
+echo
+echo "== controller check: quick bench smoke (hard-asserts invariants) =="
+smoke_out="$(mktemp)"
+trap 'rm -f "$soak_a" "$soak_b" "$smoke_out"' EXIT
+CCA_BENCH_QUICK=1 CCA_BENCH_OUT="$smoke_out" \
+  cargo bench -q -p cca-bench --bench controller_soak
+test -s "$smoke_out" || { echo "bench smoke wrote no JSON"; exit 1; }
+
+echo
+echo "== controller check: committed BENCH_controller.json =="
+test -f BENCH_controller.json || { echo "BENCH_controller.json is missing"; exit 1; }
+grep -q '"bench": "controller_soak"' BENCH_controller.json
+grep -q '"epochs": 10000' BENCH_controller.json
+# The committed baseline must be a full (non-quick) run.
+grep -q '"quick": false' BENCH_controller.json || {
+  echo "BENCH_controller.json was written by a quick run; re-run: cargo bench -p cca-bench --bench controller_soak"
+  exit 1
+}
+grep -q '"invariant_ok": true' BENCH_controller.json || {
+  echo "ERROR: committed baseline violates the gate-counter partition" >&2
+  exit 1
+}
+grep -q '"repair_converged": true' BENCH_controller.json || {
+  echo "ERROR: committed baseline records an unrepaired node loss" >&2
+  exit 1
+}
+grep -q '"reports_identical": true' BENCH_controller.json || {
+  echo "ERROR: committed baseline records a determinism break" >&2
+  exit 1
+}
+grep -q '"final_feasible": true' BENCH_controller.json || {
+  echo "ERROR: committed baseline ended infeasible" >&2
+  exit 1
+}
+echo "OK: full 10^4-epoch baseline present, invariants all-true."
+
+echo
+echo "== controller check: throughput floor on the committed baseline =="
+# Conservative floor (~7% of the recording host's 7.5k epochs/s) so the
+# gate trips on a real regression — an accidentally quadratic ingest or
+# a solve on every epoch — not on host-to-host noise.
+awk '
+  /"epochs_per_s":/ {
+    if (match($0, /"epochs_per_s": [0-9.]+/)) {
+      v = substr($0, RSTART + 16, RLENGTH - 16) + 0
+      if (v < 500.0) { bad = 1 }
+    }
+  }
+  END { exit bad ? 1 : 0 }
+' BENCH_controller.json || {
+  echo "ERROR: committed BENCH_controller.json is below the throughput" >&2
+  echo "       floor (controller soak >= 500 epochs/s)" >&2
+  exit 1
+}
+echo "OK: committed throughput clears the floor."
+
+echo
+echo "controller check: OK"

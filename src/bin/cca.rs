@@ -27,6 +27,12 @@
 //!     solve the LP relaxation once, round K candidate placements, score
 //!     all of them with one batched serving probe, and keep the placement
 //!     that moves the fewest bytes on the query log
+//!
+//! cca run --epochs N [--seed S] [--drop-nodes K] [--drift-sigma F] ...
+//!     online re-optimization loop: drift the query model each epoch,
+//!     track EWMA correlation estimates, and migrate scoped placements
+//!     only when projected savings amortize the migration bytes; seeded
+//!     node losses are repaired mid-run (report on stdout)
 //! ```
 //!
 //! `place --out FILE` saves the computed placement; `workload --out FILE`
@@ -40,10 +46,11 @@
 //! Argument parsing is deliberately dependency-free.
 
 use cca::algo::{
-    compose_with_hashed_rest, figure4::Figure4Lp, greedy_placement, importance_ranking,
-    round_samples_scored, scope_subproblem, solve_relaxation, ObjectId, RelaxOptions,
-    ResilienceOptions, Rung, SolveBudget, Strategy,
+    compose_with_hashed_rest, figure4::Figure4Lp, format_controller_report, greedy_placement,
+    importance_ranking, round_samples_scored, scope_subproblem, solve_relaxation, ControllerConfig,
+    FaultPlan, ObjectId, RelaxOptions, ResilienceOptions, Rung, SolveBudget, Strategy,
 };
+use cca::online::{run_online, OnlineConfig};
 use cca::pipeline::{Pipeline, PipelineConfig};
 use cca::trace::TraceConfig;
 use std::process::ExitCode;
@@ -64,6 +71,10 @@ struct Args {
     out: Option<String>,
     placement: Option<String>,
     candidates: usize,
+    epochs: u64,
+    queries_per_epoch: usize,
+    drift_sigma: f64,
+    drop_nodes: usize,
 }
 
 impl Default for Args {
@@ -82,6 +93,10 @@ impl Default for Args {
             out: None,
             placement: None,
             candidates: 8,
+            epochs: 1000,
+            queries_per_epoch: 64,
+            drift_sigma: 0.02,
+            drop_nodes: 0,
         }
     }
 }
@@ -96,7 +111,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: cca <workload|evaluate|place|replay|export-lp|probe> [options]\n\
+    "usage: cca <workload|evaluate|place|replay|export-lp|probe|run> [options]\n\
      options:\n\
        --preset small|paper   workload size (default small)\n\
        --seed N               workload seed (default 42)\n\
@@ -118,7 +133,41 @@ fn usage() -> &'static str {
        --placement FILE       saved placement to replay (replay only)\n\
        --candidates K         rounding candidates scored per batched\n\
                               probe, 1..=1024 (probe only; default 8)\n\
+       --epochs N             epochs of the online controller loop\n\
+                              (run only; default 1000)\n\
+       --queries-per-epoch Q  queries sampled per epoch (run only;\n\
+                              default 64)\n\
+       --drift-sigma F        per-epoch drift of the query model (run\n\
+                              only; default 0.02 — the paper's month is\n\
+                              sigma 0.276)\n\
+       --drop-nodes K         chaos: K node losses spread across the run\n\
+                              (run only; default 0)\n\
      exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
+}
+
+/// Unified parse-and-validate for count-valued flags: every count must be
+/// at least 1 (degenerate zeros would otherwise surface as downstream
+/// panics or silent empty output) and at most `max`.
+fn parse_count(flag: &str, raw: &str, max: u64) -> Result<u64, String> {
+    let n: u64 = raw
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    if n > max {
+        return Err(format!("{flag} must be at most {max}"));
+    }
+    Ok(n)
+}
+
+/// Parses a finite non-negative float flag.
+fn parse_nonnegative(flag: &str, raw: &str) -> Result<f64, String> {
+    let f: f64 = raw.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !(f.is_finite() && f >= 0.0) {
+        return Err(format!("{flag} must be a finite non-negative number"));
+    }
+    Ok(f)
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -133,7 +182,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--preset" => args.preset = value()?,
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--nodes" => args.nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--nodes" => args.nodes = parse_count(flag, &value()?, u64::MAX)? as usize,
             "--scope" => {
                 let v = value()?;
                 args.scope = if v == "full" {
@@ -148,20 +197,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some(value()?.parse().map_err(|e| format!("--deadline-ms: {e}"))?);
             }
             "--min-strategy" => args.min_strategy = Some(value()?),
-            "--threads" => {
-                let n: usize = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
-                args.threads = Some(n);
-            }
-            "--shards" => {
-                let n: usize = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
-                if n == 0 {
-                    return Err("--shards must be at least 1".into());
-                }
-                args.shards = Some(n);
-            }
+            "--threads" => args.threads = Some(parse_count(flag, &value()?, u64::MAX)? as usize),
+            "--shards" => args.shards = Some(parse_count(flag, &value()?, u64::MAX)? as usize),
             "--capacity-factor" => {
                 let f: f64 = value()?
                     .parse()
@@ -173,12 +210,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out" => args.out = Some(value()?),
             "--placement" => args.placement = Some(value()?),
-            "--candidates" => {
-                let k: usize = value()?.parse().map_err(|e| format!("--candidates: {e}"))?;
-                if !(1..=1024).contains(&k) {
-                    return Err("--candidates must be between 1 and 1024".into());
-                }
-                args.candidates = k;
+            "--candidates" => args.candidates = parse_count(flag, &value()?, 1024)? as usize,
+            "--epochs" => args.epochs = parse_count(flag, &value()?, u64::MAX)?,
+            "--queries-per-epoch" => {
+                args.queries_per_epoch = parse_count(flag, &value()?, u64::MAX)? as usize;
+            }
+            "--drift-sigma" => args.drift_sigma = parse_nonnegative(flag, &value()?)?,
+            "--drop-nodes" => {
+                args.drop_nodes = value()?.parse().map_err(|e| format!("--drop-nodes: {e}"))?;
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -424,6 +463,57 @@ fn cmd_probe(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// `cca run`: the online drift-driven re-optimization loop (DESIGN.md
+/// §12). Builds the pipeline, places greedily, then runs `--epochs`
+/// controller epochs of drifting traffic with cost/benefit-gated scoped
+/// migrations, optionally injecting `--drop-nodes` seeded node losses.
+/// Stdout is exactly the serialized `ControllerReport` (byte-identical
+/// for a fixed seed across any `--threads`/`--shards`, absent
+/// `--deadline-ms`); the human summary goes to stderr.
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
+    let p = build_pipeline(args)?;
+    let controller = ControllerConfig {
+        threads: args.threads(),
+        shards: args.shards.unwrap_or(0),
+        budget: SolveBudget {
+            deadline: args.deadline_ms.map(Duration::from_millis),
+            ..SolveBudget::default()
+        },
+        ..ControllerConfig::default()
+    };
+    let config = OnlineConfig {
+        epochs: args.epochs,
+        queries_per_epoch: args.queries_per_epoch,
+        drift_sigma: args.drift_sigma,
+        seed: args.seed,
+        faults: FaultPlan {
+            drop_nodes: args.drop_nodes,
+            seed: args.seed ^ 0xfa01_7000,
+            ..FaultPlan::default()
+        },
+        controller,
+    };
+    eprintln!(
+        "running {} epochs x {} queries (drift sigma {}, {} node losses)...",
+        config.epochs, config.queries_per_epoch, config.drift_sigma, args.drop_nodes
+    );
+    let outcome = run_online(&p, &config);
+    let text = format_controller_report(&outcome.report);
+    print!("{text}");
+    eprint!("{}", outcome.report.summary());
+    if let Some(path) = &args.out {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote controller report to {path}");
+    }
+    Ok(if !outcome.report.final_feasible {
+        ExitCode::from(3)
+    } else if outcome.report.degraded() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let path = args
         .placement
@@ -488,6 +578,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args).map(|()| ExitCode::SUCCESS),
         "place" => cmd_place(&args),
         "probe" => cmd_probe(&args),
+        "run" => cmd_run(&args),
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
         "export-lp" => cmd_export_lp(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {

@@ -49,4 +49,5 @@ pub use cca_lp as lp;
 pub use cca_search as search;
 pub use cca_trace as trace;
 
+pub mod online;
 pub mod pipeline;

@@ -399,6 +399,128 @@ fn export_lp_emits_parseable_lp() {
     assert!(model.num_constraints() > 0);
 }
 
+/// `run` exit taxonomy: 0 for a clean drift-tracking run, 2 once chaos
+/// drops a node (repaired, but the run is marked degraded).
+#[test]
+fn online_run_exit_taxonomy_and_report_shape() {
+    let (code, stdout, stderr) = run_code(&[
+        "run", "--preset", "tiny", "--nodes", "4", "--epochs", "60", "--seed", "11",
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.starts_with("# cca-controller-report v1"), "stdout: {stdout}");
+    for needle in [
+        "epochs\t60",
+        "evaluated\t",
+        "migrations\t",
+        "rejected_not_worthwhile\t",
+        "rejected_not_robust\t",
+        "final_feasible\ttrue",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in {stdout}");
+    }
+
+    let (code, stdout, stderr) = run_code(&[
+        "run", "--preset", "tiny", "--nodes", "4", "--epochs", "60", "--seed", "11",
+        "--drop-nodes", "1",
+    ]);
+    assert_eq!(code, 2, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("node_losses\t1"), "stdout: {stdout}");
+    assert!(stdout.contains("unrecovered_losses\t0"), "stdout: {stdout}");
+}
+
+/// The controller report is byte-identical across thread and shard
+/// counts — the CLI surface of the §12 determinism contract.
+#[test]
+fn online_run_is_byte_identical_across_threads_and_shards() {
+    let base = [
+        "run", "--preset", "tiny", "--nodes", "4", "--epochs", "80", "--seed", "7",
+        "--drop-nodes", "1",
+    ];
+    let reference = {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", "1"]);
+        run_code(&args)
+    };
+    assert_eq!(reference.0, 2, "reference run: {}", reference.1);
+    for threads in ["2", "8"] {
+        for shards in ["1", "2", "7"] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads, "--shards", shards]);
+            let (code, stdout, stderr) = run_code(&args);
+            assert_eq!(code, reference.0, "threads {threads} shards {shards}: {stderr}");
+            assert_eq!(
+                stdout, reference.1,
+                "threads {threads} shards {shards} changed the report"
+            );
+        }
+    }
+}
+
+/// `run --out` persists exactly the bytes printed to stdout, and the file
+/// round-trips through the report reader.
+#[test]
+fn online_run_saves_readable_report() {
+    let dir = std::env::temp_dir().join(format!("cca-cli-run-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("report.tsv");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    let (code, stdout, stderr) = run_code(&[
+        "run", "--preset", "tiny", "--nodes", "4", "--epochs", "40", "--seed", "3",
+        "--out", path_str,
+    ]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let saved = std::fs::read_to_string(&path).expect("report written");
+    assert_eq!(saved, stdout, "--out and stdout disagree");
+    let report = cca::algo::read_controller_report(saved.as_bytes()).expect("parseable report");
+    assert_eq!(report.epochs, 40);
+    assert!(report.counters_consistent());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Degenerate counts are rejected at parse time with a uniform message,
+/// before any pipeline work starts.
+#[test]
+fn count_options_reject_zero_uniformly() {
+    for (cmd, flag) in [
+        ("run", "--epochs"),
+        ("run", "--queries-per-epoch"),
+        ("run", "--threads"),
+        ("run", "--shards"),
+        ("run", "--drop-nodes"),
+        ("place", "--nodes"),
+        ("probe", "--candidates"),
+    ] {
+        // --drop-nodes 0 is legal (chaos off); everything else must fail.
+        let (code, _, stderr) = run_code(&[
+            cmd, "--preset", "tiny", "--epochs", "30", flag, "0",
+        ]);
+        if flag == "--drop-nodes" {
+            assert_eq!(code, 0, "{cmd} {flag} 0 should be a clean run: {stderr}");
+            continue;
+        }
+        assert_eq!(code, 1, "{cmd} {flag} 0 must be a usage error");
+        assert!(
+            stderr.contains(&format!("{flag} must be at least 1")),
+            "{cmd} {flag}: stderr: {stderr}"
+        );
+        // Non-numeric input fails through the same helper.
+        let (code, _, stderr) = run_code(&[cmd, "--preset", "tiny", flag, "soon"]);
+        assert_eq!(code, 1, "{cmd} {flag} soon must be a usage error");
+        assert!(stderr.contains(flag), "{cmd} {flag}: stderr: {stderr}");
+    }
+
+    let (code, _, stderr) = run_code(&[
+        "run", "--preset", "tiny", "--drift-sigma", "-0.5",
+    ]);
+    assert_eq!(code, 1);
+    assert!(
+        stderr.contains("--drift-sigma must be a finite non-negative number"),
+        "stderr: {stderr}"
+    );
+}
+
 #[test]
 fn workload_saves_readable_query_log() {
     let dir = std::env::temp_dir().join(format!("cca-cli-log-{}", std::process::id()));
