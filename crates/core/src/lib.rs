@@ -78,6 +78,7 @@ pub mod resilience;
 pub mod resources;
 pub mod rounding;
 pub mod scope;
+pub mod serving;
 pub mod shard;
 pub mod solver;
 
@@ -93,8 +94,9 @@ pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost, PlacementBatch}
 pub use greedy::greedy_placement;
 pub use migrate::{drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome};
 pub use persist::{
-    format_controller_report, format_placement, read_controller_report, read_placement,
-    write_controller_report, write_placement,
+    format_controller_report, format_placement, format_serving_report, read_controller_report,
+    read_placement, read_serving_report, write_controller_report, write_placement,
+    write_serving_report,
 };
 pub use placement::Placement;
 pub use problem::{CcaProblem, CcaProblemBuilder, ObjectId, Pair, ProblemError};
@@ -116,5 +118,6 @@ pub use rounding::{
     RoundingOutcome,
 };
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
+pub use serving::{LatencyHistogram, ServingReport};
 pub use shard::ShardedGraph;
 pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

@@ -9,10 +9,19 @@
 //! `key<TAB>value` line per [`ControllerReport`] field in declaration
 //! order. Floats round-trip through Rust's shortest exact decimal
 //! `Display`, so a written report re-reads bit for bit.
+//!
+//! Serving-report format (`# cca-serving-report v1`): one
+//! `key<TAB>value` line per scalar [`ServingReport`] field in
+//! declaration order, then one `bucket<TAB>i<TAB>count` line per
+//! non-empty histogram bucket in ascending bucket order. Every value is
+//! a `u64` or a hex digest (the histogram's dyadic bucket bounds are the
+//! reason the quantiles are integers), so the round trip is bit-exact
+//! by construction.
 
 use crate::controller::ControllerReport;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
+use crate::serving::{LatencyHistogram, ServingReport, NUM_BUCKETS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -340,6 +349,166 @@ pub fn read_controller_report<R: Read>(reader: R) -> Result<ControllerReport, Pe
     })
 }
 
+/// Field order of the v1 serving-report format (also the write order);
+/// `bucket` lines follow the scalar fields.
+const SERVING_KEYS: [&str; 12] = [
+    "queries",
+    "served",
+    "degraded",
+    "shed_admission",
+    "shed_overload",
+    "shed_deadline",
+    "executed_bytes",
+    "estimated_bytes",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
+    "digest",
+];
+
+/// Serialises a [`ServingReport`] in the v1 text format.
+#[must_use]
+pub fn format_serving_report(report: &ServingReport) -> String {
+    let mut out = String::from("# cca-serving-report v1\n");
+    let u = [
+        report.queries,
+        report.served,
+        report.degraded,
+        report.shed_admission,
+        report.shed_overload,
+        report.shed_deadline,
+        report.executed_bytes,
+        report.estimated_bytes,
+        report.p50_ns,
+        report.p95_ns,
+        report.p99_ns,
+    ];
+    for (key, value) in SERVING_KEYS.iter().zip(u) {
+        let _ = writeln!(out, "{key}\t{value}");
+    }
+    let _ = writeln!(out, "digest\t{}", report.digest);
+    for (i, count) in report.histogram.nonempty() {
+        let _ = writeln!(out, "bucket\t{i}\t{count}");
+    }
+    out
+}
+
+/// Writes a serving report in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_serving_report<W: Write>(
+    mut writer: W,
+    report: &ServingReport,
+) -> Result<(), PersistError> {
+    writer.write_all(format_serving_report(report).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a v1 serving report.
+///
+/// # Errors
+///
+/// Fails on malformed input, unknown/duplicate/missing keys, bucket
+/// indices out of range, or unparsable values.
+pub fn read_serving_report<R: Read>(reader: R) -> Result<ServingReport, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.ok_or(PersistError::Format {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    if header.trim() != "# cca-serving-report v1" {
+        return Err(PersistError::Format {
+            line: 1,
+            message: format!("bad header {header:?}"),
+        });
+    }
+    let mut values: HashMap<String, String> = HashMap::new();
+    let mut histogram = LatencyHistogram::new();
+    let mut seen_buckets: Vec<usize> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (key, value) = trimmed.split_once('\t').ok_or(PersistError::Format {
+            line: line_no,
+            message: "expected key<TAB>value".into(),
+        })?;
+        if key == "bucket" {
+            let (idx, count) = value.split_once('\t').ok_or(PersistError::Format {
+                line: line_no,
+                message: "expected bucket<TAB>index<TAB>count".into(),
+            })?;
+            let idx: usize = idx.parse().map_err(|_| PersistError::Format {
+                line: line_no,
+                message: format!("invalid bucket index {idx:?}"),
+            })?;
+            if idx >= NUM_BUCKETS {
+                return Err(PersistError::Format {
+                    line: line_no,
+                    message: format!("bucket {idx} out of range (< {NUM_BUCKETS})"),
+                });
+            }
+            if seen_buckets.contains(&idx) {
+                return Err(PersistError::Format {
+                    line: line_no,
+                    message: format!("duplicate bucket {idx}"),
+                });
+            }
+            seen_buckets.push(idx);
+            let count: u64 = count.parse().map_err(|_| PersistError::Format {
+                line: line_no,
+                message: format!("invalid bucket count {count:?}"),
+            })?;
+            histogram.add_bucket(idx, count);
+            continue;
+        }
+        if !SERVING_KEYS.contains(&key) {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("unknown key {key:?}"),
+            });
+        }
+        if values.insert(key.to_string(), value.to_string()).is_some() {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("duplicate key {key:?}"),
+            });
+        }
+    }
+    let get = |key: &str| {
+        values.get(key).ok_or(PersistError::Format {
+            line: 0,
+            message: format!("missing key {key:?}"),
+        })
+    };
+    let parse_u64 = |key: &str| -> Result<u64, PersistError> {
+        get(key)?.parse().map_err(|_| PersistError::Format {
+            line: 0,
+            message: format!("invalid integer for {key:?}"),
+        })
+    };
+    Ok(ServingReport {
+        queries: parse_u64("queries")?,
+        served: parse_u64("served")?,
+        degraded: parse_u64("degraded")?,
+        shed_admission: parse_u64("shed_admission")?,
+        shed_overload: parse_u64("shed_overload")?,
+        shed_deadline: parse_u64("shed_deadline")?,
+        executed_bytes: parse_u64("executed_bytes")?,
+        estimated_bytes: parse_u64("estimated_bytes")?,
+        p50_ns: parse_u64("p50_ns")?,
+        p95_ns: parse_u64("p95_ns")?,
+        p99_ns: parse_u64("p99_ns")?,
+        histogram,
+        digest: get("digest")?.clone(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +614,68 @@ mod tests {
         let mut buf = Vec::new();
         write_controller_report(&mut buf, &r).expect("write");
         assert_eq!(read_controller_report(buf.as_slice()).unwrap(), r);
+    }
+
+    fn serving_report() -> ServingReport {
+        let mut r = ServingReport {
+            queries: 10_000,
+            served: 9_200,
+            degraded: 300,
+            shed_admission: 480,
+            shed_overload: 15,
+            shed_deadline: 5,
+            executed_bytes: 123_456_789,
+            estimated_bytes: 9_876,
+            digest: "d41d8cd98f00b204e9800998ecf8427e".into(),
+            ..ServingReport::default()
+        };
+        for latency in [0u64, 1, 100, 100, 5_000, u64::MAX] {
+            r.histogram.record(latency);
+        }
+        // Make the histogram total line up with served + degraded so the
+        // partition invariant is checkable on the parsed copy too.
+        for _ in 0..9_494u64 {
+            r.histogram.record(2_048);
+        }
+        r.refresh_quantiles();
+        r
+    }
+
+    #[test]
+    fn serving_report_round_trips_bit_exact() {
+        let r = serving_report();
+        assert!(r.counters_consistent());
+        let text = format_serving_report(&r);
+        assert!(text.starts_with("# cca-serving-report v1\n"));
+        let parsed = read_serving_report(text.as_bytes()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert!(parsed.counters_consistent());
+        // And the round trip is a fixed point of formatting.
+        assert_eq!(format_serving_report(&parsed), text);
+        let mut buf = Vec::new();
+        write_serving_report(&mut buf, &r).expect("write");
+        assert_eq!(read_serving_report(buf.as_slice()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_serving_reports_are_rejected() {
+        for text in [
+            "",
+            "not a header\nqueries\t1\n",
+            "# cca-serving-report v1\nqueries one\n",         // no tab
+            "# cca-serving-report v1\nqueries\tone\n",        // bad integer
+            "# cca-serving-report v1\nmystery\t1\n",          // unknown key
+            "# cca-serving-report v1\nqueries\t1\nqueries\t2\n", // duplicate
+            "# cca-serving-report v1\nqueries\t1\n",          // missing keys
+            "# cca-serving-report v1\nbucket\t65\t1\n",       // bucket range
+            "# cca-serving-report v1\nbucket\t1\n",           // bucket shape
+        ] {
+            assert!(read_serving_report(text.as_bytes()).is_err(), "{text:?}");
+        }
+        // Duplicate bucket lines are rejected even with all scalars present.
+        let mut full = format_serving_report(&serving_report());
+        full.push_str("bucket\t7\t1\nbucket\t7\t2\n");
+        assert!(read_serving_report(full.as_bytes()).is_err());
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Serving-side accounting: the dyadic latency histogram and the
+//! end-of-run serving report (DESIGN.md §13).
+//!
+//! The async serving front (the root crate's `serve` module) answers
+//! queries under a **virtual-time** cost model so its report is a pure
+//! function of the workload and the placement — independent of thread
+//! count, shard count, and admission-window size. This module holds the
+//! placement-system side of that contract: the histogram whose bucket
+//! bounds are powers of two (so every persisted value is an exact `u64`
+//! and the report round-trips bit for bit through
+//! [`crate::persist::format_serving_report`]) and the counter partition
+//! mirroring the controller's gate accounting — every offered query is
+//! accounted served, degraded, or shed; nothing is dropped silently.
+
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: bucket 0 holds exact-zero latencies and
+/// bucket `i ≥ 1` holds latencies in `[2^(i-1), 2^i)`, so 64 dyadic
+/// buckets cover the whole `u64` range.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A latency histogram with dyadic (power-of-two) bucket bounds.
+///
+/// Bucket bounds are chosen for bit-exact persistence: every quantile
+/// this histogram reports is a bucket **upper bound** — an integer, not
+/// an interpolation — so `p50/p95/p99` survive a text round-trip
+/// unchanged and are identical on every host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; NUM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of `latency_ns`: 0 for an exact zero, otherwise
+    /// `1 + floor(log2(latency_ns))` (the position of the highest set
+    /// bit), so bucket `i ≥ 1` covers `[2^(i-1), 2^i)`.
+    #[must_use]
+    pub fn bucket_of(latency_ns: u64) -> usize {
+        if latency_ns == 0 {
+            0
+        } else {
+            64 - latency_ns.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i` (the largest latency the
+    /// bucket can hold). Bucket 0 is exactly zero; bucket 64 saturates
+    /// at `u64::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_BUCKETS`.
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        assert!(i < NUM_BUCKETS, "bucket {i} out of range");
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency_ns: u64) {
+        self.counts[Self::bucket_of(latency_ns)] += 1;
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_BUCKETS`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Iterator over `(bucket, count)` for every non-empty bucket, in
+    /// ascending bucket order — the persistence order.
+    pub fn nonempty(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Adds `count` samples to bucket `i` (used by the report reader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_BUCKETS`.
+    pub fn add_bucket(&mut self, i: usize, count: u64) {
+        assert!(i < NUM_BUCKETS, "bucket {i} out of range");
+        self.counts[i] += count;
+    }
+
+    /// The `q`-quantile as a bucket upper bound: the smallest bucket
+    /// bound below which at least `ceil(q × total)` samples fall.
+    /// Returns 0 for an empty histogram. `q` is clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * total) with a floor of 1: the rank of the sample.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+}
+
+/// End-of-run account of one serving run — the serving analogue of
+/// [`crate::controller::ControllerReport`].
+///
+/// The counters partition the offered queries exactly:
+///
+/// ```text
+/// queries == served + degraded + shed_admission + shed_overload + shed_deadline
+/// ```
+///
+/// Every field is either a `u64` or a hex digest, so the v1 text format
+/// ([`crate::persist::format_serving_report`]) round-trips bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServingReport {
+    /// Queries offered to the admission queue.
+    pub queries: u64,
+    /// Queries executed in full within their latency budget.
+    pub served: u64,
+    /// Queries executed in full but over their latency budget (the
+    /// admission estimate is a lower bound, so a query can clear the
+    /// gate and still run long).
+    pub degraded: u64,
+    /// Queries shed at admission: the batched pre-execution estimate
+    /// already exceeded the per-query budget, so the query was answered
+    /// from the estimate alone, without touching posting lists.
+    pub shed_admission: u64,
+    /// Queries shed because the bounded admission queue was full when
+    /// they arrived (open-loop overload only; a closed loop never
+    /// overflows).
+    pub shed_overload: u64,
+    /// Queries shed mid-batch by the wall-clock `DeadlineGate` liveness
+    /// backstop (never silently dropped — answered from the estimate
+    /// and counted here).
+    pub shed_deadline: u64,
+    /// Total communication bytes of fully executed queries.
+    pub executed_bytes: u64,
+    /// Total estimated bytes of shed queries (their degraded answers).
+    pub estimated_bytes: u64,
+    /// Virtual-latency p50 (a dyadic bucket upper bound, in ns).
+    pub p50_ns: u64,
+    /// Virtual-latency p95 (a dyadic bucket upper bound, in ns).
+    pub p95_ns: u64,
+    /// Virtual-latency p99 (a dyadic bucket upper bound, in ns).
+    pub p99_ns: u64,
+    /// Histogram of virtual service latencies of executed queries.
+    pub histogram: LatencyHistogram,
+    /// MD5 over every response record in arrival order — byte-identity
+    /// of the full response stream across threads, shards, and
+    /// admission windows.
+    pub digest: String,
+}
+
+impl ServingReport {
+    /// True when the shed/served counters exactly partition the offered
+    /// queries and the histogram holds one sample per executed query.
+    #[must_use]
+    pub fn counters_consistent(&self) -> bool {
+        self.queries
+            == self.served
+                + self.degraded
+                + self.shed_admission
+                + self.shed_overload
+                + self.shed_deadline
+            && self.histogram.total() == self.served + self.degraded
+    }
+
+    /// True when any query was answered degraded or shed — the exit-2
+    /// condition of the `cca serve` taxonomy.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded + self.shed_admission + self.shed_overload + self.shed_deadline > 0
+    }
+
+    /// Recomputes the persisted quantiles from the histogram.
+    pub fn refresh_quantiles(&mut self) {
+        self.p50_ns = self.histogram.quantile_upper_bound(0.50);
+        self.p95_ns = self.histogram.quantile_upper_bound(0.95);
+        self.p99_ns = self.histogram.quantile_upper_bound(0.99);
+    }
+
+    /// Human-readable summary (stderr companion of the machine report).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "served {}/{} queries ({} degraded, {} shed: {} admission / {} overload / {} deadline)",
+            self.served,
+            self.queries,
+            self.degraded,
+            self.shed_admission + self.shed_overload + self.shed_deadline,
+            self.shed_admission,
+            self.shed_overload,
+            self.shed_deadline,
+        );
+        let _ = writeln!(
+            out,
+            "virtual latency p50/p95/p99: {}/{}/{} ns; executed {} bytes ({} estimated on shed paths)",
+            self.p50_ns, self.p95_ns, self.p99_ns, self.executed_bytes, self.estimated_bytes
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_dyadic_and_exhaustive() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 64);
+        for i in 1..NUM_BUCKETS {
+            let hi = LatencyHistogram::bucket_upper_bound(i);
+            assert_eq!(LatencyHistogram::bucket_of(hi), i, "upper bound of {i}");
+            if i < 64 {
+                assert_eq!(
+                    LatencyHistogram::bucket_of(hi + 1),
+                    i + 1,
+                    "bound {i} is inclusive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_upper_bound(0.5), 0, "empty histogram");
+        // 90 fast samples (bucket of 100 = 7, bound 127), 10 slow
+        // (bucket of 10_000 = 14, bound 16383).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.quantile_upper_bound(0.50), 127);
+        assert_eq!(h.quantile_upper_bound(0.90), 127);
+        assert_eq!(h.quantile_upper_bound(0.95), 16383);
+        assert_eq!(h.quantile_upper_bound(1.0), 16383);
+        assert_eq!(h.quantile_upper_bound(0.0), 127, "rank floors at 1");
+        let nonempty: Vec<_> = h.nonempty().collect();
+        assert_eq!(nonempty, vec![(7, 90), (14, 10)]);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn report_partition_invariant() {
+        let mut r = ServingReport {
+            queries: 10,
+            served: 6,
+            degraded: 1,
+            shed_admission: 2,
+            shed_overload: 1,
+            shed_deadline: 0,
+            ..ServingReport::default()
+        };
+        for _ in 0..7 {
+            r.histogram.record(50);
+        }
+        assert!(r.counters_consistent());
+        assert!(r.degraded());
+        r.served += 1;
+        assert!(!r.counters_consistent(), "partition must be exact");
+    }
+
+    #[test]
+    fn refresh_quantiles_reads_the_histogram() {
+        let mut r = ServingReport::default();
+        r.histogram.record(1000);
+        r.refresh_quantiles();
+        assert_eq!(r.p50_ns, LatencyHistogram::bucket_upper_bound(10));
+        assert_eq!(r.p50_ns, 1023);
+        assert_eq!(r.p99_ns, 1023);
+        assert!(r.summary().contains("p50/p95/p99"));
+    }
+}

@@ -356,6 +356,59 @@ impl<'a> QueryEngine<'a> {
         log.iter().map(|q| self.model_probe(q)).sum()
     }
 
+    /// Probes every query of `queries` individually against the engine's
+    /// own cluster — the admission-side batch estimator: one call per
+    /// admission window instead of one [`Self::model_probe`] call per
+    /// query, with entry `i` equal to `model_probe(&queries[i])` exactly.
+    ///
+    /// The serving layer (`cca serve`) uses these per-query byte
+    /// estimates as virtual latency budgets before deciding to execute,
+    /// so the same caveat applies: exact under
+    /// [`AggregationPolicy::Union`], a lower bound under
+    /// [`AggregationPolicy::Intersection`].
+    #[must_use]
+    pub fn probe_each(&self, queries: &[Query]) -> Vec<u64> {
+        queries.iter().map(|q| self.model_probe(q)).collect()
+    }
+
+    /// The node where `query`'s evaluation begins — the coalescing key
+    /// for batched admission (queries sharing a home node share the
+    /// posting data their first step reads).
+    ///
+    /// * [`AggregationPolicy::Intersection`] — the node of the larger of
+    ///   the two smallest posting lists, where `execute` performs the
+    ///   first intersection.
+    /// * [`AggregationPolicy::Union`] — the node of the largest posting
+    ///   list, which hosts the union.
+    /// * Fewer than two keywords — the single keyword's node, or 0 for an
+    ///   empty query (both are free to evaluate anywhere).
+    #[must_use]
+    pub fn home_node(&self, query: &Query) -> usize {
+        if query.words.is_empty() {
+            return 0;
+        }
+        if query.words.len() == 1 {
+            return self.node_of(query.words[0]);
+        }
+        match self.policy {
+            AggregationPolicy::Intersection => {
+                // Same ordering rule as execute_intersection: evaluation
+                // starts at order[1]'s node.
+                let mut order: Vec<WordId> = query.words.clone();
+                order.sort_unstable_by_key(|&w| (self.index.posting(w).len(), w));
+                self.node_of(order[1])
+            }
+            AggregationPolicy::Union => {
+                let host = *query
+                    .words
+                    .iter()
+                    .max_by_key(|&&w| (self.index.posting(w).len(), w))
+                    .expect("len >= 2");
+                self.node_of(host)
+            }
+        }
+    }
+
     /// Probes `log` against `k` candidate clusters at once: each query's
     /// placement-independent shape (posting-size sort, host selection,
     /// shipment bytes) is computed **once** and evaluated against every
@@ -717,6 +770,73 @@ mod tests {
             }
             assert!(engine.probe_batch(&log, &[]).is_empty());
         }
+    }
+
+    #[test]
+    fn probe_each_matches_model_probe() {
+        let f = fixture();
+        let ws: Vec<WordId> = f.index.keywords().collect();
+        let assignment: Vec<usize> = (0..f.vocab.len()).map(|w| w % 3).collect();
+        let cluster = Cluster::with_assignment(3, &f.index, &assignment);
+        let queries = vec![
+            Query { words: vec![] },
+            Query { words: vec![ws[0]] },
+            Query {
+                words: vec![ws[0], ws[1]],
+            },
+            Query {
+                words: ws.iter().copied().take(5).collect(),
+            },
+        ];
+        for policy in [AggregationPolicy::Intersection, AggregationPolicy::Union] {
+            let engine = QueryEngine::new(&f.index, &cluster, policy);
+            let batch = engine.probe_each(&queries);
+            assert_eq!(batch.len(), queries.len());
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(batch[i], engine.model_probe(q), "{policy:?} query {i}");
+            }
+            assert!(engine.probe_each(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn home_node_matches_first_evaluation_site() {
+        let f = fixture();
+        let mut ws: Vec<WordId> = f.index.keywords().collect();
+        ws.sort_unstable_by_key(|&w| (f.index.posting(w).len(), w));
+        let (small, large) = (ws[0], *ws.last().unwrap());
+        let mut assignment = vec![0usize; f.vocab.len()];
+        assignment[small.index()] = 1;
+        assignment[large.index()] = 2;
+        let cluster = Cluster::with_assignment(3, &f.index, &assignment);
+
+        let inter = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Intersection);
+        // Intersection starts at the larger of the two smallest lists.
+        assert_eq!(
+            inter.home_node(&Query {
+                words: vec![small, ws[1]],
+            }),
+            inter.node_of(ws[1])
+        );
+        // Single keyword: its own node; empty: node 0.
+        assert_eq!(inter.home_node(&Query { words: vec![small] }), 1);
+        assert_eq!(inter.home_node(&Query { words: vec![] }), 0);
+
+        let union = QueryEngine::new(&f.index, &cluster, AggregationPolicy::Union);
+        // Union gathers at the largest list's node.
+        assert_eq!(
+            union.home_node(&Query {
+                words: vec![small, large],
+            }),
+            2
+        );
+        // Home node is where a query whose keywords all live there runs
+        // for free.
+        let colocated = Query {
+            words: vec![small, small],
+        };
+        assert_eq!(inter.home_node(&colocated), 1);
+        assert_eq!(inter.execute(&colocated).comm_bytes, 0);
     }
 
     #[test]

@@ -33,6 +33,12 @@
 //!     track EWMA correlation estimates, and migrate scoped placements
 //!     only when projected savings amortize the migration bytes; seeded
 //!     node losses are repaired mid-run (report on stdout)
+//!
+//! cca serve [--queries N] [--inflight K] [--deadline-ms D] ...
+//!     async serving front: place greedily, sample a fresh query stream,
+//!     and serve it through the batched-admission executor; stdout is
+//!     the deterministic `# cca-serving-report v1` (byte-identical for
+//!     any --threads/--shards/--inflight), human summary on stderr
 //! ```
 //!
 //! `place --out FILE` saves the computed placement; `workload --out FILE`
@@ -46,13 +52,17 @@
 //! Argument parsing is deliberately dependency-free.
 
 use cca::algo::{
-    compose_with_hashed_rest, figure4::Figure4Lp, format_controller_report, greedy_placement,
-    importance_ranking, round_samples_scored, scope_subproblem, solve_relaxation, ControllerConfig,
-    FaultPlan, ObjectId, RelaxOptions, ResilienceOptions, Rung, SolveBudget, Strategy,
+    compose_with_hashed_rest, figure4::Figure4Lp, format_controller_report,
+    format_serving_report, greedy_placement, importance_ranking, round_samples_scored,
+    scope_subproblem, solve_relaxation, ControllerConfig, FaultPlan, ObjectId, RelaxOptions,
+    ResilienceOptions, Rung, SolveBudget, Strategy,
 };
 use cca::online::{run_online, OnlineConfig};
 use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::serve::{serve, ServeConfig};
 use cca::trace::TraceConfig;
+use cca_rand::rngs::StdRng;
+use cca_rand::SeedableRng;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -75,6 +85,8 @@ struct Args {
     queries_per_epoch: usize,
     drift_sigma: f64,
     drop_nodes: usize,
+    queries: usize,
+    inflight: usize,
 }
 
 impl Default for Args {
@@ -97,6 +109,8 @@ impl Default for Args {
             queries_per_epoch: 64,
             drift_sigma: 0.02,
             drop_nodes: 0,
+            queries: 10_000,
+            inflight: 64,
         }
     }
 }
@@ -111,7 +125,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: cca <workload|evaluate|place|replay|export-lp|probe|run> [options]\n\
+    "usage: cca <workload|evaluate|place|replay|export-lp|probe|run|serve> [options]\n\
      options:\n\
        --preset small|paper   workload size (default small)\n\
        --seed N               workload seed (default 42)\n\
@@ -142,6 +156,12 @@ fn usage() -> &'static str {
                               sigma 0.276)\n\
        --drop-nodes K         chaos: K node losses spread across the run\n\
                               (run only; default 0)\n\
+       --queries N            queries in the served stream (serve only;\n\
+                              default 10000)\n\
+       --inflight K           admission-window size: max queries in\n\
+                              flight and max batch per dispatch (serve\n\
+                              only; default 64; the report is identical\n\
+                              for any K)\n\
      exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
 }
 
@@ -216,6 +236,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.queries_per_epoch = parse_count(flag, &value()?, u64::MAX)? as usize;
             }
             "--drift-sigma" => args.drift_sigma = parse_nonnegative(flag, &value()?)?,
+            "--queries" => args.queries = parse_count(flag, &value()?, u64::MAX)? as usize,
+            "--inflight" => args.inflight = parse_count(flag, &value()?, u64::MAX)? as usize,
             "--drop-nodes" => {
                 args.drop_nodes = value()?.parse().map_err(|e| format!("--drop-nodes: {e}"))?;
             }
@@ -514,6 +536,62 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// `cca serve`: the async serving front (DESIGN.md §13). Places greedily,
+/// samples a fresh `--queries`-long stream from the workload's query
+/// model (a seed distinct from the training log, so serving is measured
+/// on unseen traffic), and serves it through the batched-admission
+/// executor. Stdout is exactly the serialized `# cca-serving-report v1`
+/// — byte-identical for a fixed seed across any `--threads`, `--shards`
+/// and `--inflight`; the human summary and wall-clock throughput go to
+/// stderr.
+fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let p = build_pipeline(args)?;
+    let placement = greedy_placement(&p.problem);
+    let audit = cca::algo::audit_placement(&p.problem, &placement, 5);
+    let cluster = p.cluster_for(&placement);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5e12_7e00);
+    let stream = p.workload.model.sample_log(args.queries, &mut rng);
+    let config = ServeConfig {
+        inflight: args.inflight,
+        threads: args.threads(),
+        deadline_ms: args.deadline_ms,
+        burst: None,
+    };
+    eprintln!(
+        "serving {} queries (inflight {}, {} threads)...",
+        args.queries, args.inflight, config.threads
+    );
+    let start = std::time::Instant::now();
+    let outcome = serve(
+        &p.index,
+        &cluster,
+        p.config().aggregation,
+        &stream.queries,
+        &config,
+    );
+    let elapsed = start.elapsed();
+    let text = format_serving_report(&outcome.report);
+    print!("{text}");
+    eprint!("{}", outcome.report.summary());
+    eprintln!(
+        "{} batches (max {}), {:.0} queries/s wall-clock",
+        outcome.batches,
+        outcome.max_batch,
+        args.queries as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if let Some(path) = &args.out {
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote serving report to {path}");
+    }
+    Ok(if !audit.feasible() {
+        ExitCode::from(3)
+    } else if outcome.report.degraded() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let path = args
         .placement
@@ -579,6 +657,7 @@ fn main() -> ExitCode {
         "place" => cmd_place(&args),
         "probe" => cmd_probe(&args),
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
         "export-lp" => cmd_export_lp(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {

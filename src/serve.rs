@@ -1,0 +1,700 @@
+//! Async serving front with batched admission (DESIGN.md §13).
+//!
+//! A first-party poll-based executor — real [`std::future::Future`] tasks
+//! driven by [`cca_par::WakeFlag`] wakers, no external runtime — that
+//! admits concurrent query streams in bounded windows, coalesces the
+//! admitted work into batched calls ([`QueryEngine::probe_each`] for
+//! admission estimates, one home-node-grouped
+//! [`cca_par::par_map_indexed`] execution sweep per window), and enforces
+//! per-query latency budgets with the established 0/2/3 degrade taxonomy.
+//!
+//! # Virtual time is the determinism contract
+//!
+//! A serving report that changed with thread count or admission-window
+//! size would be useless as a regression artifact, so latency here is
+//! **virtual**: every query is charged a deterministic service time
+//!
+//! ```text
+//! service_ns = SERVICE_BASE_NS
+//!            + SERVICE_WORD_NS × keywords
+//!            + SERVICE_BYTE_NS × comm_bytes
+//! ```
+//!
+//! — a pure function of the query and the placement, with **no
+//! queue-wait component**. Consequently the whole
+//! [`ServingReport`] (counters, histogram, quantiles, digest) is
+//! byte-identical across `threads` × `shards` × `inflight`; wall-clock
+//! throughput is measured by the caller and reported separately
+//! (BENCH_serving.json). The wall clock enters execution only through the
+//! [`DeadlineGate`] liveness backstop, which never trips in a healthy
+//! run (see [`ResponseStatus::ShedDeadline`]).
+//!
+//! # Admission taxonomy
+//!
+//! Every offered query is answered and accounted exactly once:
+//!
+//! * **served** — executed, within its virtual budget.
+//! * **degraded** — executed, over budget (the admission estimate is a
+//!   lower bound under intersection, so a query can clear the gate and
+//!   still run long).
+//! * **shed (admission)** — the batched pre-execution estimate already
+//!   exceeded the budget; answered from the estimate without touching
+//!   posting lists.
+//! * **shed (overload)** — the bounded queue was full on arrival
+//!   (open-loop [`ServeConfig::burst`] mode only; a closed loop never
+//!   overflows).
+//! * **shed (deadline)** — the wall-clock backstop tripped mid-batch.
+//!
+//! `queries == served + degraded + shed_admission + shed_overload +
+//! shed_deadline` is asserted, not hoped for.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use cca_core::ServingReport;
+use cca_hash::md5;
+use cca_par::{par_map_indexed, DeadlineGate, WakeFlag};
+use cca_search::{AggregationPolicy, Cluster, InvertedIndex, QueryEngine};
+use cca_trace::Query;
+
+/// Fixed virtual cost of any query (parse, plan, respond): 20 µs.
+pub const SERVICE_BASE_NS: u64 = 20_000;
+/// Virtual cost per queried keyword (posting-list lookup): 5 µs.
+pub const SERVICE_WORD_NS: u64 = 5_000;
+/// Virtual cost per communicated byte (~1 MB/s wire, deliberately slow
+/// so placement quality dominates the latency distribution and a 1 ms
+/// budget meaningfully sheds multi-kilobyte shipments).
+pub const SERVICE_BYTE_NS: u64 = 1024;
+
+/// Constant grace added to every batch's wall-clock liveness pool.
+/// Latency is accounted in virtual time; the wall-clock gate only
+/// exists to abandon a hung batch, so it must be far above scheduler
+/// noise — a tripped gate leaks real time into the report.
+const GATE_GRACE_MS: u64 = 1_000;
+
+/// The virtual service time charged to a query with `words` keywords
+/// moving `comm_bytes` bytes. Saturating: overflow clamps at `u64::MAX`
+/// (the top histogram bucket) instead of wrapping.
+#[must_use]
+pub fn service_ns(words: usize, comm_bytes: u64) -> u64 {
+    SERVICE_BASE_NS
+        .saturating_add(SERVICE_WORD_NS.saturating_mul(words as u64))
+        .saturating_add(SERVICE_BYTE_NS.saturating_mul(comm_bytes))
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission-window size: at most this many queries are in flight
+    /// (admitted but unanswered) at once, and each dispatched batch
+    /// contains at most this many queries. Must be at least 1.
+    pub inflight: usize,
+    /// Worker threads for batch execution (1 runs inline). Never changes
+    /// the report.
+    pub threads: usize,
+    /// Per-query virtual latency budget in milliseconds. `None` disables
+    /// budgets (nothing is shed or degraded). Also arms the wall-clock
+    /// [`DeadlineGate`] backstop, pooled per batch.
+    pub deadline_ms: Option<u64>,
+    /// Open-loop mode: offer up to this many arrivals per executor cycle
+    /// regardless of completions, shedding arrivals that find the bounded
+    /// queue (capacity [`ServeConfig::queue_capacity`]) full. `None` is
+    /// the closed loop: arrivals are admitted only as slots free up, so
+    /// the queue never overflows.
+    pub burst: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            inflight: 64,
+            threads: 1,
+            deadline_ms: None,
+            burst: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Bounded-queue capacity: twice the admission window, so a modest
+    /// burst queues while a sustained overload sheds.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.inflight.saturating_mul(2).max(1)
+    }
+
+    /// The per-query virtual budget in nanoseconds, if any.
+    #[must_use]
+    pub fn budget_ns(&self) -> Option<u64> {
+        self.deadline_ms.map(|ms| ms.saturating_mul(1_000_000))
+    }
+}
+
+/// How one query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// Executed within budget.
+    Served,
+    /// Executed over budget.
+    Degraded,
+    /// Shed at admission (estimate exceeded the budget).
+    ShedAdmission,
+    /// Shed on arrival (queue full, open-loop mode).
+    ShedOverload,
+    /// Shed mid-batch by the wall-clock backstop.
+    ShedDeadline,
+}
+
+impl ResponseStatus {
+    /// Stable wire code, part of the digest format.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            ResponseStatus::Served => 0,
+            ResponseStatus::Degraded => 1,
+            ResponseStatus::ShedAdmission => 2,
+            ResponseStatus::ShedOverload => 3,
+            ResponseStatus::ShedDeadline => 4,
+        }
+    }
+
+    /// True when the query was actually executed (pages are real).
+    #[must_use]
+    pub fn executed(self) -> bool {
+        matches!(self, ResponseStatus::Served | ResponseStatus::Degraded)
+    }
+}
+
+/// The answer to one offered query, in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Arrival index of the query in the offered stream.
+    pub index: usize,
+    /// How the query was answered.
+    pub status: ResponseStatus,
+    /// Communication bytes: executed bytes when
+    /// [`ResponseStatus::executed`], the admission estimate otherwise.
+    pub bytes: u64,
+    /// Virtual latency in nanoseconds (estimate-based for shed queries).
+    pub latency_ns: u64,
+    /// Number of result pages (0 for shed queries).
+    pub pages: u64,
+    /// MD5 over the result page ids in order (digest of the empty string
+    /// for shed queries) — byte-identity of the payload, not just its
+    /// size.
+    pub pages_digest: [u8; 16],
+}
+
+impl Response {
+    /// The digest record of this response: one line of the stream the
+    /// report digest is computed over.
+    fn record(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            self.index,
+            self.status.code(),
+            self.bytes,
+            self.latency_ns,
+            self.pages,
+            md5::Md5::hex(&self.pages_digest)
+        )
+    }
+}
+
+/// Everything a serving run produced: the deterministic report plus the
+/// per-query responses and batching telemetry (the latter two are *not*
+/// part of the report because batch sizes legitimately vary with
+/// `inflight`).
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The persisted, determinism-contracted report.
+    pub report: ServingReport,
+    /// Per-query responses in arrival order (one per offered query).
+    pub responses: Vec<Response>,
+    /// Number of execution batches dispatched.
+    pub batches: u64,
+    /// Largest batch dispatched.
+    pub max_batch: usize,
+}
+
+/// What batch execution hands back to a waiting task.
+#[derive(Debug, Clone, Copy)]
+enum BatchResult {
+    /// Executed: communicated bytes, page count, page-id digest.
+    Done {
+        comm_bytes: u64,
+        pages: u64,
+        pages_digest: [u8; 16],
+    },
+    /// The wall-clock backstop tripped before this query ran.
+    Shed,
+}
+
+/// Shared state between the executor and its tasks: the submission queue
+/// and the result/waker slots, one per offered query.
+struct Board {
+    /// Query indices awaiting execution, in submission order.
+    pending: Vec<usize>,
+    /// Deposited batch results, by query index.
+    results: Vec<Option<BatchResult>>,
+    /// Wakers of tasks waiting on a result, by query index.
+    wakers: Vec<Option<Waker>>,
+}
+
+/// The leaf future: submits its query to the board once, then parks until
+/// the executor deposits the batch result and wakes it.
+struct ExecuteInBatch {
+    board: Rc<RefCell<Board>>,
+    index: usize,
+    submitted: bool,
+}
+
+impl Future for ExecuteInBatch {
+    type Output = BatchResult;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<BatchResult> {
+        let this = self.get_mut();
+        let mut board = this.board.borrow_mut();
+        if let Some(result) = board.results[this.index].take() {
+            return Poll::Ready(result);
+        }
+        if !this.submitted {
+            board.pending.push(this.index);
+            this.submitted = true;
+        }
+        board.wakers[this.index] = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// One in-flight task: the future answering one query, plus its waker.
+struct Task {
+    index: usize,
+    future: Pin<Box<dyn Future<Output = Response>>>,
+    flag: Arc<WakeFlag>,
+    waker: Waker,
+}
+
+impl Task {
+    /// A task that executes query `index` through the batch board and
+    /// grades the answer against the virtual budget.
+    fn new(
+        board: Rc<RefCell<Board>>,
+        index: usize,
+        words: usize,
+        est_bytes: u64,
+        budget_ns: Option<u64>,
+    ) -> Self {
+        let flag = WakeFlag::new();
+        let waker = Waker::from(Arc::clone(&flag));
+        let future = async move {
+            let result = ExecuteInBatch {
+                board,
+                index,
+                submitted: false,
+            }
+            .await;
+            match result {
+                BatchResult::Done {
+                    comm_bytes,
+                    pages,
+                    pages_digest,
+                } => {
+                    let latency_ns = service_ns(words, comm_bytes);
+                    let status = match budget_ns {
+                        Some(b) if latency_ns > b => ResponseStatus::Degraded,
+                        _ => ResponseStatus::Served,
+                    };
+                    Response {
+                        index,
+                        status,
+                        bytes: comm_bytes,
+                        latency_ns,
+                        pages,
+                        pages_digest,
+                    }
+                }
+                BatchResult::Shed => estimate_response(
+                    index,
+                    ResponseStatus::ShedDeadline,
+                    words,
+                    est_bytes,
+                ),
+            }
+        };
+        Task {
+            index,
+            future: Box::pin(future),
+            flag,
+            waker,
+        }
+    }
+}
+
+/// A response answered from the admission estimate alone (any shed path).
+fn estimate_response(
+    index: usize,
+    status: ResponseStatus,
+    words: usize,
+    est_bytes: u64,
+) -> Response {
+    Response {
+        index,
+        status,
+        bytes: est_bytes,
+        latency_ns: service_ns(words, est_bytes),
+        pages: 0,
+        pages_digest: md5::digest(b""),
+    }
+}
+
+/// Serves `queries` against `index` placed on `cluster`.
+///
+/// The executor runs admission cycles until every offered query is
+/// answered: admit a window (batched [`QueryEngine::probe_each`]
+/// estimate, budget check, overload check), poll woken tasks in arrival
+/// order, then dispatch the accumulated submissions as one
+/// home-node-grouped [`par_map_indexed`] batch. See the module docs for
+/// the determinism contract.
+///
+/// # Panics
+///
+/// Panics if `config.inflight` is 0, or on an internal executor stall
+/// (a cycle that makes no progress — a bug, never a load condition).
+#[must_use]
+pub fn serve(
+    index: &InvertedIndex,
+    cluster: &Cluster,
+    policy: AggregationPolicy,
+    queries: &[Query],
+    config: &ServeConfig,
+) -> ServeOutcome {
+    assert!(config.inflight > 0, "inflight window must be at least 1");
+    let engine = QueryEngine::new(index, cluster, policy);
+    let n = queries.len();
+    let budget_ns = config.budget_ns();
+    let capacity = config.queue_capacity();
+
+    let board = Rc::new(RefCell::new(Board {
+        pending: Vec::new(),
+        results: vec![None; n],
+        wakers: vec![None; n],
+    }));
+    let mut responses: Vec<Option<Response>> = vec![None; n];
+    let mut live: Vec<Task> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut batches = 0u64;
+    let mut max_batch = 0usize;
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Admission: pick the cycle's arrivals (closed loop fills the
+        // window; open loop offers a burst), estimate them with one
+        // batched probe, then answer or admit each in arrival order.
+        let mut offered: Vec<usize> = Vec::new();
+        match config.burst {
+            None => {
+                while live.len() + offered.len() < config.inflight && next_arrival < n {
+                    offered.push(next_arrival);
+                    next_arrival += 1;
+                }
+            }
+            Some(burst) => {
+                while offered.len() < burst && next_arrival < n {
+                    offered.push(next_arrival);
+                    next_arrival += 1;
+                }
+            }
+        }
+        if !offered.is_empty() {
+            progressed = true;
+            let window: Vec<Query> = offered.iter().map(|&i| queries[i].clone()).collect();
+            let estimates = engine.probe_each(&window);
+            let mut admitted = live.len();
+            for (&i, &est_bytes) in offered.iter().zip(&estimates) {
+                let words = queries[i].words.len();
+                if config.burst.is_some() && admitted >= capacity {
+                    responses[i] = Some(estimate_response(
+                        i,
+                        ResponseStatus::ShedOverload,
+                        words,
+                        est_bytes,
+                    ));
+                    continue;
+                }
+                if let Some(budget) = budget_ns {
+                    if service_ns(words, est_bytes) > budget {
+                        responses[i] = Some(estimate_response(
+                            i,
+                            ResponseStatus::ShedAdmission,
+                            words,
+                            est_bytes,
+                        ));
+                        continue;
+                    }
+                }
+                live.push(Task::new(
+                    Rc::clone(&board),
+                    i,
+                    words,
+                    est_bytes,
+                    budget_ns,
+                ));
+                admitted += 1;
+            }
+        }
+
+        // 2. Poll every woken task, in arrival order (live is kept sorted
+        // by construction: admissions append ascending indices and
+        // completions only remove).
+        let mut completed: Vec<(usize, Response)> = Vec::new();
+        for task in &mut live {
+            if !task.flag.take() {
+                continue;
+            }
+            progressed = true;
+            let mut cx = Context::from_waker(&task.waker);
+            if let Poll::Ready(response) = task.future.as_mut().poll(&mut cx) {
+                completed.push((task.index, response));
+            }
+        }
+        if !completed.is_empty() {
+            let done: Vec<usize> = completed.iter().map(|&(i, _)| i).collect();
+            for (i, response) in completed {
+                responses[i] = Some(response);
+            }
+            live.retain(|t| !done.contains(&t.index));
+        }
+
+        // 3. Dispatch: drain the submission queue as one batch, grouped
+        // by home node so co-located queries run adjacently (stable sort
+        // — submission order is preserved within a node).
+        let mut batch: Vec<usize> = std::mem::take(&mut board.borrow_mut().pending);
+        if !batch.is_empty() {
+            progressed = true;
+            batch.sort_by_key(|&i| engine.home_node(&queries[i]));
+            batches += 1;
+            max_batch = max_batch.max(batch.len());
+            // Wall-clock liveness backstop, pooled over the batch. The
+            // pool is deliberately generous — a constant grace term plus
+            // deadline_ms per query — because latency accounting is done
+            // entirely in virtual time: this gate exists only to shed
+            // the remainder of a genuinely hung batch instead of
+            // blocking forever, and must never trip on scheduler noise
+            // (a tripped gate would leak wall-clock nondeterminism into
+            // the report).
+            let gate = DeadlineGate::new(config.deadline_ms.map(|ms| {
+                Instant::now()
+                    + Duration::from_millis(
+                        GATE_GRACE_MS + ms.saturating_mul(batch.len() as u64),
+                    )
+            }));
+            let results: Vec<BatchResult> =
+                par_map_indexed(config.threads, batch.len(), |k| {
+                    if gate.expired() {
+                        return BatchResult::Shed;
+                    }
+                    let r = engine.execute(&queries[batch[k]]);
+                    let mut page_bytes = Vec::with_capacity(r.pages.len() * 8);
+                    for p in &r.pages {
+                        page_bytes.extend_from_slice(&p.0.to_le_bytes());
+                    }
+                    BatchResult::Done {
+                        comm_bytes: r.comm_bytes,
+                        pages: r.pages.len() as u64,
+                        pages_digest: md5::digest(&page_bytes),
+                    }
+                });
+            let mut board = board.borrow_mut();
+            for (&i, &result) in batch.iter().zip(&results) {
+                board.results[i] = Some(result);
+                if let Some(waker) = board.wakers[i].take() {
+                    waker.wake();
+                }
+            }
+        }
+
+        if live.is_empty() && next_arrival >= n {
+            break;
+        }
+        assert!(progressed, "serving executor stalled with work outstanding");
+    }
+
+    let responses: Vec<Response> = responses
+        .into_iter()
+        .map(|r| r.expect("every offered query is answered"))
+        .collect();
+    let report = build_report(&responses);
+    debug_assert!(report.counters_consistent());
+    ServeOutcome {
+        report,
+        responses,
+        batches,
+        max_batch,
+    }
+}
+
+/// Folds the arrival-ordered responses into the persisted report.
+fn build_report(responses: &[Response]) -> ServingReport {
+    let mut report = ServingReport {
+        queries: responses.len() as u64,
+        ..ServingReport::default()
+    };
+    let mut stream = String::new();
+    for r in responses {
+        let _ = write!(stream, "{}", r.record());
+        match r.status {
+            ResponseStatus::Served => report.served += 1,
+            ResponseStatus::Degraded => report.degraded += 1,
+            ResponseStatus::ShedAdmission => report.shed_admission += 1,
+            ResponseStatus::ShedOverload => report.shed_overload += 1,
+            ResponseStatus::ShedDeadline => report.shed_deadline += 1,
+        }
+        if r.status.executed() {
+            report.executed_bytes += r.bytes;
+            report.histogram.record(r.latency_ns);
+        } else {
+            report.estimated_bytes += r.bytes;
+        }
+    }
+    report.digest = md5::Md5::hex(&md5::digest(stream.as_bytes()));
+    report.refresh_quantiles();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use cca_core::greedy_placement;
+    use cca_trace::TraceConfig;
+
+    fn fixture() -> (Pipeline, Cluster, Vec<Query>) {
+        let mut cfg = PipelineConfig::new(TraceConfig::tiny(), 4);
+        cfg.seed = 9;
+        let p = Pipeline::build(&cfg);
+        let placement = greedy_placement(&p.problem);
+        let cluster = p.cluster_for(&placement);
+        let queries = p.workload.queries.queries.clone();
+        (p, cluster, queries)
+    }
+
+    #[test]
+    fn closed_loop_serves_everything_identically_to_serial_execute() {
+        let (p, cluster, queries) = fixture();
+        let engine = QueryEngine::new(&p.index, &cluster, p.config().aggregation);
+        let out = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &queries,
+            &ServeConfig::default(),
+        );
+        assert!(out.report.counters_consistent());
+        assert_eq!(out.report.queries, queries.len() as u64);
+        assert_eq!(out.report.served, queries.len() as u64);
+        assert!(!out.report.degraded());
+        for (i, (resp, q)) in out.responses.iter().zip(&queries).enumerate() {
+            let serial = engine.execute(q);
+            assert_eq!(resp.index, i);
+            assert_eq!(resp.status, ResponseStatus::Served);
+            assert_eq!(resp.bytes, serial.comm_bytes, "query {i}");
+            assert_eq!(resp.pages, serial.pages.len() as u64, "query {i}");
+            assert_eq!(resp.latency_ns, service_ns(q.words.len(), serial.comm_bytes));
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_inflight_and_threads() {
+        let (p, cluster, queries) = fixture();
+        let base = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &queries,
+            &ServeConfig {
+                inflight: 1,
+                threads: 1,
+                ..ServeConfig::default()
+            },
+        );
+        for (inflight, threads) in [(7, 2), (64, 4), (queries.len().max(1), 3)] {
+            let out = serve(
+                &p.index,
+                &cluster,
+                p.config().aggregation,
+                &queries,
+                &ServeConfig {
+                    inflight,
+                    threads,
+                    ..ServeConfig::default()
+                },
+            );
+            assert_eq!(out.report, base.report, "inflight {inflight} threads {threads}");
+            assert_eq!(out.responses, base.responses);
+        }
+        // Batching telemetry is where the window size is allowed to show.
+        assert_eq!(base.max_batch, 1);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_every_query_at_admission() {
+        let (p, cluster, queries) = fixture();
+        let out = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &queries,
+            &ServeConfig {
+                deadline_ms: Some(0),
+                ..ServeConfig::default()
+            },
+        );
+        assert!(out.report.counters_consistent());
+        assert_eq!(out.report.shed_admission, queries.len() as u64);
+        assert_eq!(out.report.served + out.report.degraded, 0);
+        assert_eq!(out.batches, 0, "nothing reaches execution");
+        assert!(out.report.degraded());
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_but_accounts_exactly() {
+        let (p, cluster, queries) = fixture();
+        let config = ServeConfig {
+            inflight: 4,
+            burst: Some(queries.len()),
+            ..ServeConfig::default()
+        };
+        let out = serve(&p.index, &cluster, p.config().aggregation, &queries, &config);
+        assert!(out.report.counters_consistent());
+        assert_eq!(out.responses.len(), queries.len());
+        assert!(out.report.shed_overload > 0, "10x capacity must overflow");
+        assert_eq!(
+            out.report.served + out.report.shed_overload,
+            queries.len() as u64
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_noop() {
+        let (p, cluster, _) = fixture();
+        let out = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &[],
+            &ServeConfig::default(),
+        );
+        assert!(out.report.counters_consistent());
+        assert_eq!(out.report.queries, 0);
+        assert_eq!(out.batches, 0);
+        assert!(!out.report.degraded());
+    }
+}

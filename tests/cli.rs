@@ -479,6 +479,133 @@ fn online_run_saves_readable_report() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `serve` follows the workspace exit taxonomy: 0 = every query served
+/// in budget, 2 = degraded/shed queries present (with the shed counters
+/// accounting for them — never a hang or panic), 3 = infeasible placement.
+#[test]
+fn serve_exit_taxonomy_and_report_shape() {
+    let base = ["serve", "--preset", "tiny", "--nodes", "4", "--seed", "11", "--queries", "400"];
+    let (code, stdout, stderr) = run_code(&base);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.starts_with("# cca-serving-report v1"), "stdout: {stdout}");
+    for needle in [
+        "queries\t400",
+        "served\t400",
+        "shed_admission\t0",
+        "shed_overload\t0",
+        "shed_deadline\t0",
+        "digest\t",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle} in {stdout}");
+    }
+    assert!(stderr.contains("queries/s"), "stderr: {stderr}");
+
+    // A zero deadline is the tightest budget: every query sheds at
+    // admission, all of them accounted, and the exit code says degraded.
+    let mut args = base.to_vec();
+    args.extend(["--deadline-ms", "0"]);
+    let (code, stdout, stderr) = run_code(&args);
+    assert_eq!(code, 2, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("served\t0"), "stdout: {stdout}");
+    assert!(stdout.contains("shed_admission\t400"), "stdout: {stdout}");
+
+    // An infeasible placement trumps the serving outcome.
+    let mut args = base.to_vec();
+    args.extend(["--capacity-factor", "0.4"]);
+    let (code, _, stderr) = run_code(&args);
+    assert_eq!(code, 3, "stderr: {stderr}");
+}
+
+/// A tight-but-nonzero deadline on the default workload sheds the
+/// heavy tail while serving the rest — a genuinely mixed report, still
+/// exiting 2 with every query accounted.
+#[test]
+fn serve_tight_deadline_sheds_heavy_tail() {
+    let (code, stdout, stderr) = run_code(&[
+        "serve", "--preset", "small", "--seed", "11",
+        "--queries", "4000", "--deadline-ms", "1",
+    ]);
+    assert_eq!(code, 2, "stdout: {stdout}\nstderr: {stderr}");
+    let field = |key: &str| -> u64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}\t")))
+            .unwrap_or_else(|| panic!("missing {key} in {stdout}"))
+            .parse()
+            .expect("numeric field")
+    };
+    let (served, degraded, shed) = (field("served"), field("degraded"), field("shed_admission"));
+    assert!(served > 0, "some queries must fit the budget: {stdout}");
+    assert!(degraded + shed > 0, "the tail must exceed 1ms: {stdout}");
+    assert_eq!(
+        served + degraded + shed + field("shed_overload") + field("shed_deadline"),
+        field("queries"),
+        "shed queries must be accounted: {stdout}"
+    );
+}
+
+/// The serving report is byte-identical across thread, shard, and
+/// inflight counts — the CLI surface of the §13 determinism contract.
+#[test]
+fn serve_report_is_byte_identical_across_threads_shards_inflight() {
+    let base = [
+        "serve", "--preset", "tiny", "--nodes", "4", "--seed", "7",
+        "--queries", "500", "--deadline-ms", "1",
+    ];
+    let reference = {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--threads", "1", "--inflight", "1"]);
+        run_code(&args)
+    };
+    assert!(
+        reference.1.starts_with("# cca-serving-report v1"),
+        "reference run: {}",
+        reference.1
+    );
+    for threads in ["2", "8"] {
+        for shards in ["1", "2", "7"] {
+            for inflight in ["1", "64"] {
+                let mut args: Vec<&str> = base.to_vec();
+                args.extend([
+                    "--threads", threads, "--shards", shards, "--inflight", inflight,
+                ]);
+                let (code, stdout, stderr) = run_code(&args);
+                assert_eq!(
+                    code, reference.0,
+                    "threads {threads} shards {shards} inflight {inflight}: {stderr}"
+                );
+                assert_eq!(
+                    stdout, reference.1,
+                    "threads {threads} shards {shards} inflight {inflight} changed the report"
+                );
+            }
+        }
+    }
+}
+
+/// `serve --out` persists exactly the bytes printed to stdout, and the
+/// file round-trips through the serving-report reader.
+#[test]
+fn serve_saves_readable_report() {
+    let dir = std::env::temp_dir().join(format!("cca-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("serving.tsv");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    let (code, stdout, stderr) = run_code(&[
+        "serve", "--preset", "tiny", "--nodes", "4", "--seed", "3",
+        "--queries", "300", "--out", path_str,
+    ]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let saved = std::fs::read_to_string(&path).expect("report written");
+    assert_eq!(saved, stdout, "--out and stdout disagree");
+    let report = cca::algo::read_serving_report(saved.as_bytes()).expect("parseable report");
+    assert_eq!(report.queries, 300);
+    assert!(report.counters_consistent());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Degenerate counts are rejected at parse time with a uniform message,
 /// before any pipeline work starts.
 #[test]
@@ -491,6 +618,8 @@ fn count_options_reject_zero_uniformly() {
         ("run", "--drop-nodes"),
         ("place", "--nodes"),
         ("probe", "--candidates"),
+        ("serve", "--queries"),
+        ("serve", "--inflight"),
     ] {
         // --drop-nodes 0 is legal (chaos off); everything else must fail.
         let (code, _, stderr) = run_code(&[
