@@ -64,6 +64,7 @@ fn run_at(
         threads,
         deadline_ms: Some(DEADLINE_MS),
         burst: None,
+        overhead_ns: 0,
     };
     let t = Instant::now();
     let outcome = serve(

@@ -41,7 +41,9 @@
 //! [`crate::persist::format_controller_report`].
 
 use crate::graph::PlacementBatch;
-use crate::migrate::{migration_bytes, reconcile, MigrateOptions};
+use crate::migrate::{
+    migration_bytes, reconcile, MigrateOptions, MigrationSchedule, MigrationSlice,
+};
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
 use crate::resilience::{
@@ -112,6 +114,13 @@ pub struct ControllerConfig {
     /// Escalating-slack repair attempts after a node loss before the
     /// loss is recorded as unrecovered (the loop still continues).
     pub max_repair_retries: u32,
+    /// When set, accepted migrations are not applied in one bulk
+    /// [`reconcile`]; they are staged as a [`MigrationSchedule`] and the
+    /// driver ships at most this many bytes per epoch via
+    /// [`Controller::advance_migration`] (the live-runtime pacing
+    /// contract, DESIGN.md §14). `None` (the default) keeps the
+    /// immediate bulk apply.
+    pub migration_budget_per_epoch: Option<u64>,
 }
 
 impl Default for ControllerConfig {
@@ -132,6 +141,7 @@ impl Default for ControllerConfig {
             max_solve_retries: 2,
             backoff_epochs: 16,
             max_repair_retries: 3,
+            migration_budget_per_epoch: None,
         }
     }
 }
@@ -193,6 +203,18 @@ pub enum EpochOutcome {
         moves: u64,
         /// Bytes moved by [`reconcile`].
         bytes: u64,
+        /// Modeled cost gap per query between incumbent and candidate.
+        saving_per_query: f64,
+    },
+    /// The migration was accepted and staged as a byte-budgeted
+    /// [`MigrationSchedule`]; the driver ships it slice by slice through
+    /// [`Controller::advance_migration`]. Only emitted when
+    /// [`ControllerConfig::migration_budget_per_epoch`] is set.
+    MigrationScheduled {
+        /// The migrating scope.
+        scope: usize,
+        /// Bytes the full migration will ship.
+        total_bytes: u64,
         /// Modeled cost gap per query between incumbent and candidate.
         saving_per_query: f64,
     },
@@ -358,6 +380,12 @@ pub struct Controller {
     queries_total: u64,
     /// Scratch: per-edge observed correlation for the current epoch.
     obs_scratch: Vec<f64>,
+    /// An accepted migration still being shipped slice by slice
+    /// (only under `migration_budget_per_epoch`).
+    pending_migration: Option<MigrationSchedule>,
+    /// Schedules abandoned because a slice stalled (every pending object
+    /// over budget or capacity-blocked).
+    abandoned_migrations: u64,
     // Counters (see ControllerReport).
     evaluated: u64,
     migrations: u64,
@@ -438,6 +466,8 @@ impl Controller {
             epoch: 0,
             queries_total: 0,
             obs_scratch,
+            pending_migration: None,
+            abandoned_migrations: 0,
             evaluated: 0,
             migrations: 0,
             objects_moved: 0,
@@ -505,6 +535,13 @@ impl Controller {
         if !self.epoch.is_multiple_of(self.config.evaluate_every) {
             return EpochOutcome::Idle;
         }
+        if self.pending_migration.is_some() {
+            // One migration in flight at a time: evaluation pauses until
+            // the staged schedule drains (or is abandoned) through
+            // `advance_migration`, so a half-shipped placement is never
+            // measured for drift or re-solved against.
+            return EpochOutcome::Idle;
+        }
         let Some((scope, drift)) = self.pick_scope() else {
             return EpochOutcome::Idle; // every scope is backing off
         };
@@ -512,6 +549,47 @@ impl Controller {
             return EpochOutcome::NoDrift { scope, drift };
         }
         self.evaluate_scope(scope)
+    }
+
+    /// Ships one byte-budgeted slice of the staged migration (if any),
+    /// mutating the live placement in place. The live runtime calls this
+    /// once per epoch *before* the serving window, so the placement swap
+    /// is atomic between windows and the slice's bytes are the epoch's
+    /// migration traffic.
+    ///
+    /// Returns `None` when no migration is staged. A stalled slice
+    /// (nothing movable under the budget and surviving capacities)
+    /// abandons the schedule — counted by
+    /// [`abandoned_migrations`](Controller::abandoned_migrations) — so
+    /// the loop can never wedge on an unshippable candidate.
+    pub fn advance_migration(&mut self) -> Option<MigrationSlice> {
+        let mut schedule = self.pending_migration.take()?;
+        let budget = self
+            .config
+            .migration_budget_per_epoch
+            .unwrap_or(u64::MAX);
+        let est = self.estimated_problem();
+        let slice = schedule.advance(&est, &mut self.placement, budget);
+        self.objects_moved += slice.moves;
+        self.migrated_bytes += slice.bytes;
+        if slice.stalled {
+            self.abandoned_migrations += 1;
+        } else if !slice.complete {
+            self.pending_migration = Some(schedule);
+        }
+        Some(slice)
+    }
+
+    /// Whether an accepted migration is still being shipped.
+    #[must_use]
+    pub fn migration_in_progress(&self) -> bool {
+        self.pending_migration.is_some()
+    }
+
+    /// Staged migrations abandoned because a slice stalled.
+    #[must_use]
+    pub fn abandoned_migrations(&self) -> u64 {
+        self.abandoned_migrations
     }
 
     /// Drops `plan.drop_nodes` surviving nodes (chosen by `plan.seed`,
@@ -808,15 +886,26 @@ impl Controller {
             capacity_slack: cfg.capacity_slack,
             ..MigrateOptions::default()
         };
-        let outcome = reconcile(&est, &self.placement, &candidate, u64::MAX, &migrate);
-        self.placement = outcome.placement;
+        // Acceptance bookkeeping is identical either way: the migration
+        // counts, the regret ledger resets, and the drift baseline snaps
+        // to the estimates the candidate was solved against.
         self.migrations += 1;
-        self.objects_moved += outcome.moves as u64;
-        self.migrated_bytes += outcome.migrated_bytes;
         self.scopes[s].accumulated_loss = 0.0;
         for &e in &self.scope_edges[s] {
             self.placed_r[e as usize] = self.est_r[e as usize];
         }
+        if cfg.migration_budget_per_epoch.is_some() {
+            self.pending_migration = Some(MigrationSchedule::new(candidate, migrate));
+            return EpochOutcome::MigrationScheduled {
+                scope: s,
+                total_bytes: bytes,
+                saving_per_query,
+            };
+        }
+        let outcome = reconcile(&est, &self.placement, &candidate, u64::MAX, &migrate);
+        self.placement = outcome.placement;
+        self.objects_moved += outcome.moves as u64;
+        self.migrated_bytes += outcome.migrated_bytes;
         EpochOutcome::Migrated {
             scope: s,
             moves: outcome.moves as u64,
@@ -1148,6 +1237,88 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn budgeted_migration_ships_in_bounded_slices() {
+        let p = base_problem();
+        let budget = 8u64; // objects are 4 bytes: at most two per slice
+        let cfg = ControllerConfig {
+            migration_budget_per_epoch: Some(budget),
+            ..config()
+        };
+        let mut c = Controller::new(&p, start_placement(&p), cfg);
+        let mut scheduled = false;
+        let mut shipped = 0u64;
+        for _ in 0..128 {
+            // The live-runtime driving order: slice first, then step.
+            if let Some(slice) = c.advance_migration() {
+                assert!(slice.bytes <= budget, "slice over budget: {slice:?}");
+                assert!(!slice.stalled, "feasible schedule stalled: {slice:?}");
+                shipped += slice.bytes;
+            }
+            match c.step(&flipped_obs()) {
+                EpochOutcome::MigrationScheduled {
+                    total_bytes,
+                    saving_per_query,
+                    ..
+                } => {
+                    scheduled = true;
+                    assert!(total_bytes > 0);
+                    assert!(saving_per_query > 0.0);
+                }
+                EpochOutcome::Migrated { .. } => {
+                    panic!("a budgeted controller must stage, never bulk-apply")
+                }
+                _ => {}
+            }
+        }
+        while c.migration_in_progress() {
+            shipped += c.advance_migration().expect("in progress").bytes;
+        }
+        assert!(scheduled, "a persistent flip must eventually stage a migration");
+        let r = c.report();
+        assert!(r.migrations >= 1);
+        assert_eq!(r.migrated_bytes, shipped, "report accrues exactly the slices");
+        assert!(r.counters_consistent());
+        assert_eq!(c.abandoned_migrations(), 0);
+        assert!(r.final_feasible);
+        // The shipped schedule co-locates the new strong pairs.
+        let pl = c.placement();
+        assert_eq!(pl.node_of(ObjectId(0)), pl.node_of(ObjectId(2)));
+        assert_eq!(pl.node_of(ObjectId(1)), pl.node_of(ObjectId(3)));
+    }
+
+    #[test]
+    fn evaluation_pauses_while_a_migration_is_in_flight() {
+        let p = base_problem();
+        let cfg = ControllerConfig {
+            migration_budget_per_epoch: Some(4), // one object per slice
+            ..config()
+        };
+        let mut c = Controller::new(&p, start_placement(&p), cfg);
+        let mut pending_evals = 0;
+        for _ in 0..256 {
+            if c.migration_in_progress() {
+                // Deliberately never advance: the schedule stays pending,
+                // so even evaluation-cadence epochs must stay Idle.
+                let out = c.step(&flipped_obs());
+                assert_eq!(out, EpochOutcome::Idle);
+                pending_evals += 1;
+                if pending_evals >= 8 {
+                    break;
+                }
+            } else {
+                let _ = c.step(&flipped_obs());
+            }
+        }
+        assert!(pending_evals >= 8, "a migration must have been staged");
+        while c.migration_in_progress() {
+            let slice = c.advance_migration().expect("in progress");
+            assert!(slice.bytes <= 4);
+            assert!(!slice.stalled);
+        }
+        assert!(c.report().counters_consistent());
     }
 
     #[test]

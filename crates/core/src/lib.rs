@@ -92,11 +92,14 @@ pub use exact::{exact_placement, ExactOptions};
 pub use fractional::FractionalPlacement;
 pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost, PlacementBatch};
 pub use greedy::greedy_placement;
-pub use migrate::{drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome};
+pub use migrate::{
+    drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome,
+    MigrationSchedule, MigrationSlice,
+};
 pub use persist::{
-    format_controller_report, format_placement, format_serving_report, read_controller_report,
-    read_placement, read_serving_report, write_controller_report, write_placement,
-    write_serving_report,
+    format_controller_report, format_live_report, format_placement, format_serving_report,
+    read_controller_report, read_live_report, read_placement, read_serving_report,
+    write_controller_report, write_live_report, write_placement, write_serving_report,
 };
 pub use placement::Placement;
 pub use problem::{CcaProblem, CcaProblemBuilder, ObjectId, Pair, ProblemError};
@@ -118,6 +121,6 @@ pub use rounding::{
     RoundingOutcome,
 };
 pub use scope::{compose_with_hashed_rest, importance_ranking, scope_subproblem};
-pub use serving::{LatencyHistogram, ServingReport};
+pub use serving::{LatencyHistogram, LiveReport, ServingReport};
 pub use shard::ShardedGraph;
 pub use solver::{place, place_partial, place_partial_with, LprrOptions, PlacementReport, Strategy};

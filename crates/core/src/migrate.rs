@@ -511,6 +511,151 @@ pub fn drain_node(
     })
 }
 
+/// One budget-bounded step of a [`MigrationSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationSlice {
+    /// Objects moved in this slice.
+    pub moves: u64,
+    /// Bytes shipped in this slice. Never exceeds the budget passed to
+    /// [`MigrationSchedule::advance`].
+    pub bytes: u64,
+    /// Objects still off their desired node after this slice.
+    pub remaining_objects: u64,
+    /// Bytes still to ship after this slice.
+    pub remaining_bytes: u64,
+    /// The placement now matches the schedule's desired placement.
+    pub complete: bool,
+    /// Nothing moved although a diff remains: every pending object is
+    /// either larger than the slice budget or blocked by capacity. The
+    /// caller should abandon the schedule — retrying cannot make
+    /// progress under the same budget and loads.
+    pub stalled: bool,
+}
+
+/// A controller-approved migration executed as a sequence of
+/// byte-budgeted slices instead of one bulk [`reconcile`] — the pacing
+/// half of the live runtime contract (DESIGN.md §14). Each epoch the
+/// runtime calls [`advance`](MigrationSchedule::advance) with that
+/// epoch's byte budget; the slice moves at most that many bytes, so
+/// foreground serving latency is never hit by an unbounded re-pack.
+#[derive(Debug, Clone)]
+pub struct MigrationSchedule {
+    desired: Placement,
+    options: MigrateOptions,
+    slices: u64,
+    total_moves: u64,
+    total_bytes: u64,
+}
+
+impl MigrationSchedule {
+    /// Stages a schedule toward `desired`. `apply_nonpositive_gains` is
+    /// forced on: the gain accounting already happened when the
+    /// controller accepted the migration, and a paced schedule must
+    /// converge to the approved placement rather than stop at the
+    /// model's break-even point.
+    #[must_use]
+    pub fn new(desired: Placement, options: MigrateOptions) -> Self {
+        MigrationSchedule {
+            desired,
+            options: MigrateOptions {
+                apply_nonpositive_gains: true,
+                ..options
+            },
+            slices: 0,
+            total_moves: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// The placement this schedule is converging to.
+    #[must_use]
+    pub fn desired(&self) -> &Placement {
+        &self.desired
+    }
+
+    /// Slices applied so far.
+    #[must_use]
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Objects moved across all slices so far.
+    #[must_use]
+    pub fn total_moves(&self) -> u64 {
+        self.total_moves
+    }
+
+    /// Bytes shipped across all slices so far.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Applies one slice of at most `budget_bytes` toward the desired
+    /// placement, mutating `placement` in place.
+    ///
+    /// Two passes, both deterministic: first a grouped [`reconcile`]
+    /// slice (correlated components move together, best gain per byte
+    /// first); then, only when the grouped pass moved nothing while a
+    /// diff remains, a per-object fallback in ascending object order —
+    /// `reconcile` skips any component larger than the budget, so
+    /// without the fallback a big cluster under a small budget would
+    /// stall forever instead of trickling over several epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placements or problem disagree on dimensions.
+    pub fn advance(
+        &mut self,
+        problem: &CcaProblem,
+        placement: &mut Placement,
+        budget_bytes: u64,
+    ) -> MigrationSlice {
+        let out = reconcile(problem, placement, &self.desired, budget_bytes, &self.options);
+        let mut moves = out.moves as u64;
+        let mut bytes = out.migrated_bytes;
+        *placement = out.placement;
+
+        if bytes == 0 {
+            let mut loads = Loads::new(problem, placement, self.options.capacity_slack);
+            let mut remaining = budget_bytes;
+            for o in problem.objects() {
+                let target = self.desired.node_of(o);
+                let src = placement.node_of(o);
+                if src == target {
+                    continue;
+                }
+                let size = problem.size(o);
+                if size > remaining || !loads.fits(target, o) {
+                    continue;
+                }
+                loads.apply(o, src, target);
+                placement.assign(o, target);
+                remaining -= size;
+                bytes += size;
+                moves += 1;
+            }
+        }
+        debug_assert!(bytes <= budget_bytes, "slice {bytes} over budget {budget_bytes}");
+
+        self.slices += 1;
+        self.total_moves += moves;
+        self.total_bytes += bytes;
+        let (remaining_objects, remaining_bytes) = problem
+            .objects()
+            .filter(|&o| placement.node_of(o) != self.desired.node_of(o))
+            .fold((0u64, 0u64), |(n, b), o| (n + 1, b + problem.size(o)));
+        MigrationSlice {
+            moves,
+            bytes,
+            remaining_objects,
+            remaining_bytes,
+            complete: remaining_objects == 0,
+            stalled: moves == 0 && remaining_objects > 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +813,82 @@ mod tests {
             ..MigrateOptions::default()
         })
         .is_none());
+    }
+
+    #[test]
+    fn schedule_slices_respect_budget_and_converge() {
+        let p = problem();
+        let mut placement = Placement::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let desired = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let total = migration_bytes(&p, &placement, &desired);
+        let mut schedule = MigrationSchedule::new(desired.clone(), MigrateOptions::default());
+        let mut shipped = 0u64;
+        for _ in 0..16 {
+            let slice = schedule.advance(&p, &mut placement, 10);
+            assert!(slice.bytes <= 10, "slice over budget: {slice:?}");
+            assert!(!slice.stalled, "feasible schedule stalled: {slice:?}");
+            shipped += slice.bytes;
+            if slice.complete {
+                break;
+            }
+        }
+        assert_eq!(placement, desired);
+        assert_eq!(shipped, total);
+        assert_eq!(schedule.total_bytes(), total);
+        assert_eq!(schedule.total_moves(), total / 10);
+    }
+
+    #[test]
+    fn schedule_falls_back_per_object_for_oversized_groups() {
+        // A two-object correlated cluster (20 bytes) under a 10-byte
+        // budget: the grouped reconcile pass skips it every slice, so
+        // the per-object fallback must trickle it over two epochs.
+        let mut b = CcaProblem::builder();
+        let a = b.add_object("a", 10);
+        let c = b.add_object("b", 10);
+        b.add_pair(a, c, 0.9, 10.0).unwrap();
+        let p = b.uniform_capacities(2, 40).build().unwrap();
+        let mut placement = Placement::new(vec![1, 1], 2);
+        let desired = Placement::new(vec![0, 0], 2);
+        let mut schedule = MigrationSchedule::new(desired.clone(), MigrateOptions::default());
+
+        let first = schedule.advance(&p, &mut placement, 10);
+        assert_eq!(first.bytes, 10);
+        assert_eq!(first.moves, 1);
+        assert_eq!(first.remaining_objects, 1);
+        assert!(!first.complete && !first.stalled);
+
+        let second = schedule.advance(&p, &mut placement, 10);
+        assert_eq!(second.bytes, 10);
+        assert!(second.complete);
+        assert_eq!(placement, desired);
+    }
+
+    #[test]
+    fn schedule_stalls_when_budget_below_every_object() {
+        let p = problem();
+        let mut placement = Placement::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let desired = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let mut schedule = MigrationSchedule::new(desired, MigrateOptions::default());
+        // Every object is 10 bytes; a 5-byte budget can never move one.
+        let slice = schedule.advance(&p, &mut placement, 5);
+        assert_eq!(slice.bytes, 0);
+        assert_eq!(slice.moves, 0);
+        assert!(slice.stalled);
+        assert!(!slice.complete);
+        assert_eq!(placement, Placement::new(vec![0, 1, 0, 1, 0, 1], 2));
+    }
+
+    #[test]
+    fn schedule_unlimited_budget_completes_in_one_slice() {
+        let p = problem();
+        let mut placement = Placement::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let desired = Placement::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let mut schedule = MigrationSchedule::new(desired.clone(), MigrateOptions::default());
+        let slice = schedule.advance(&p, &mut placement, u64::MAX);
+        assert!(slice.complete);
+        assert_eq!(slice.remaining_bytes, 0);
+        assert_eq!(placement, desired);
     }
 
     #[test]

@@ -17,11 +17,20 @@
 //! a `u64` or a hex digest (the histogram's dyadic bucket bounds are the
 //! reason the quantiles are integers), so the round trip is bit-exact
 //! by construction.
+//!
+//! Live-report format (`# cca-live-report v1`): the same framing with
+//! [`LiveReport`]'s scalar fields and **three** histogram row kinds
+//! (`bucket_pre`/`bucket_mid`/`bucket_post`) for the latency split
+//! around the migration window.
+//!
+//! All three report formats share one framing layer (header check,
+//! `key<TAB>value` scalars, repeated histogram rows, line-numbered
+//! errors); the per-format functions only choose keys and field types.
 
 use crate::controller::ControllerReport;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
-use crate::serving::{LatencyHistogram, ServingReport, NUM_BUCKETS};
+use crate::serving::{LatencyHistogram, LiveReport, ServingReport, NUM_BUCKETS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -188,6 +197,174 @@ pub fn read_placement<R: Read>(
     Ok(Placement::new(assignment, nodes))
 }
 
+// ---------------------------------------------------------------------------
+// Shared `# cca-*-report v1` framing
+//
+// Every report format is the same line discipline: a fixed header, one
+// `key<TAB>value` line per scalar field in declaration order, then zero
+// or more repeated histogram rows (`<row-key><TAB>index<TAB>count`,
+// ascending index). The writer and parser below are that discipline,
+// factored once; the per-format functions are thin typed shells.
+// ---------------------------------------------------------------------------
+
+/// Writer half of the shared framing: accumulates the header, scalar
+/// fields, and histogram rows in emission order.
+struct ReportWriter {
+    out: String,
+}
+
+impl ReportWriter {
+    fn new(header: &str) -> Self {
+        ReportWriter {
+            out: format!("{header}\n"),
+        }
+    }
+
+    fn field(&mut self, key: &str, value: impl std::fmt::Display) {
+        let _ = writeln!(self.out, "{key}\t{value}");
+    }
+
+    fn buckets(&mut self, key: &str, histogram: &LatencyHistogram) {
+        for (i, count) in histogram.nonempty() {
+            let _ = writeln!(self.out, "{key}\t{i}\t{count}");
+        }
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Parser half of the shared framing: scalar values and histogram rows
+/// collected with the line-numbered error discipline every report format
+/// shares (unknown key, duplicate key, bucket index range, duplicate
+/// bucket, missing key at line 0).
+struct ParsedReport {
+    values: HashMap<String, String>,
+    rows: HashMap<String, LatencyHistogram>,
+}
+
+fn parse_framed<R: Read>(
+    reader: R,
+    header_want: &str,
+    scalar_keys: &[&str],
+    row_keys: &[&str],
+) -> Result<ParsedReport, PersistError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.ok_or(PersistError::Format {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    if header.trim() != header_want {
+        return Err(PersistError::Format {
+            line: 1,
+            message: format!("bad header {header:?}"),
+        });
+    }
+    let mut values: HashMap<String, String> = HashMap::new();
+    let mut rows: HashMap<String, LatencyHistogram> = HashMap::new();
+    let mut seen_buckets: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (key, value) = trimmed.split_once('\t').ok_or(PersistError::Format {
+            line: line_no,
+            message: "expected key<TAB>value".into(),
+        })?;
+        if let Some(&row_key) = row_keys.iter().find(|&&r| r == key) {
+            let (idx, count) = value.split_once('\t').ok_or(PersistError::Format {
+                line: line_no,
+                message: format!("expected {row_key}<TAB>index<TAB>count"),
+            })?;
+            let idx: usize = idx.parse().map_err(|_| PersistError::Format {
+                line: line_no,
+                message: format!("invalid bucket index {idx:?}"),
+            })?;
+            if idx >= NUM_BUCKETS {
+                return Err(PersistError::Format {
+                    line: line_no,
+                    message: format!("bucket {idx} out of range (< {NUM_BUCKETS})"),
+                });
+            }
+            let seen = seen_buckets.entry(row_key).or_default();
+            if seen.contains(&idx) {
+                return Err(PersistError::Format {
+                    line: line_no,
+                    message: format!("duplicate bucket {idx}"),
+                });
+            }
+            seen.push(idx);
+            let count: u64 = count.parse().map_err(|_| PersistError::Format {
+                line: line_no,
+                message: format!("invalid bucket count {count:?}"),
+            })?;
+            rows.entry(row_key.to_string())
+                .or_default()
+                .add_bucket(idx, count);
+            continue;
+        }
+        if !scalar_keys.contains(&key) {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("unknown key {key:?}"),
+            });
+        }
+        if values.insert(key.to_string(), value.to_string()).is_some() {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("duplicate key {key:?}"),
+            });
+        }
+    }
+    Ok(ParsedReport { values, rows })
+}
+
+impl ParsedReport {
+    fn get(&self, key: &str) -> Result<&String, PersistError> {
+        self.values.get(key).ok_or(PersistError::Format {
+            line: 0,
+            message: format!("missing key {key:?}"),
+        })
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, PersistError> {
+        self.get(key)?.parse().map_err(|_| PersistError::Format {
+            line: 0,
+            message: format!("invalid integer for {key:?}"),
+        })
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, PersistError> {
+        self.get(key)?.parse().map_err(|_| PersistError::Format {
+            line: 0,
+            message: format!("invalid number for {key:?}"),
+        })
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, PersistError> {
+        match self.get(key)?.as_str() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(PersistError::Format {
+                line: 0,
+                message: format!("invalid bool {other:?} for {key:?}"),
+            }),
+        }
+    }
+
+    fn string(&self, key: &str) -> Result<String, PersistError> {
+        Ok(self.get(key)?.clone())
+    }
+
+    fn histogram(&mut self, row_key: &str) -> LatencyHistogram {
+        self.rows.remove(row_key).unwrap_or_default()
+    }
+}
+
 /// Field order of the v1 controller-report format (also the write order).
 const REPORT_KEYS: [&str; 19] = [
     "epochs",
@@ -214,7 +391,7 @@ const REPORT_KEYS: [&str; 19] = [
 /// Serialises a [`ControllerReport`] in the v1 text format.
 #[must_use]
 pub fn format_controller_report(report: &ControllerReport) -> String {
-    let mut out = String::from("# cca-controller-report v1\n");
+    let mut w = ReportWriter::new("# cca-controller-report v1");
     let u = [
         report.epochs,
         report.queries,
@@ -234,12 +411,12 @@ pub fn format_controller_report(report: &ControllerReport) -> String {
         report.unrecovered_losses,
     ];
     for (key, value) in REPORT_KEYS.iter().zip(u) {
-        let _ = writeln!(out, "{key}\t{value}");
+        w.field(key, value);
     }
-    let _ = writeln!(out, "accumulated_loss\t{}", report.accumulated_loss);
-    let _ = writeln!(out, "final_cost\t{}", report.final_cost);
-    let _ = writeln!(out, "final_feasible\t{}", report.final_feasible);
-    out
+    w.field("accumulated_loss", report.accumulated_loss);
+    w.field("final_cost", report.final_cost);
+    w.field("final_feasible", report.final_feasible);
+    w.finish()
 }
 
 /// Writes a controller report in the v1 text format.
@@ -262,90 +439,27 @@ pub fn write_controller_report<W: Write>(
 /// Fails on malformed input, unknown/duplicate/missing keys, or
 /// unparsable values.
 pub fn read_controller_report<R: Read>(reader: R) -> Result<ControllerReport, PersistError> {
-    let mut lines = BufReader::new(reader).lines();
-    let header = lines.next().transpose()?.ok_or(PersistError::Format {
-        line: 1,
-        message: "empty input".into(),
-    })?;
-    if header.trim() != "# cca-controller-report v1" {
-        return Err(PersistError::Format {
-            line: 1,
-            message: format!("bad header {header:?}"),
-        });
-    }
-    let mut values: HashMap<String, String> = HashMap::new();
-    for (i, line) in lines.enumerate() {
-        let line_no = i + 2;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let (key, value) = trimmed.split_once('\t').ok_or(PersistError::Format {
-            line: line_no,
-            message: "expected key<TAB>value".into(),
-        })?;
-        if !REPORT_KEYS.contains(&key) {
-            return Err(PersistError::Format {
-                line: line_no,
-                message: format!("unknown key {key:?}"),
-            });
-        }
-        if values.insert(key.to_string(), value.to_string()).is_some() {
-            return Err(PersistError::Format {
-                line: line_no,
-                message: format!("duplicate key {key:?}"),
-            });
-        }
-    }
-    let get = |key: &str| {
-        values.get(key).ok_or(PersistError::Format {
-            line: 0,
-            message: format!("missing key {key:?}"),
-        })
-    };
-    let parse_u64 = |key: &str| -> Result<u64, PersistError> {
-        get(key)?.parse().map_err(|_| PersistError::Format {
-            line: 0,
-            message: format!("invalid integer for {key:?}"),
-        })
-    };
-    let parse_f64 = |key: &str| -> Result<f64, PersistError> {
-        get(key)?.parse().map_err(|_| PersistError::Format {
-            line: 0,
-            message: format!("invalid number for {key:?}"),
-        })
-    };
-    let final_feasible = match get("final_feasible")?.as_str() {
-        "true" => true,
-        "false" => false,
-        other => {
-            return Err(PersistError::Format {
-                line: 0,
-                message: format!("invalid bool {other:?} for \"final_feasible\""),
-            })
-        }
-    };
+    let p = parse_framed(reader, "# cca-controller-report v1", &REPORT_KEYS, &[])?;
     Ok(ControllerReport {
-        epochs: parse_u64("epochs")?,
-        queries: parse_u64("queries")?,
-        evaluated: parse_u64("evaluated")?,
-        migrations: parse_u64("migrations")?,
-        objects_moved: parse_u64("objects_moved")?,
-        migrated_bytes: parse_u64("migrated_bytes")?,
-        rejected_not_worthwhile: parse_u64("rejected_not_worthwhile")?,
-        rejected_not_robust: parse_u64("rejected_not_robust")?,
-        degradations: parse_u64("degradations")?,
-        solve_retries: parse_u64("solve_retries")?,
-        repairs: parse_u64("repairs")?,
-        repair_retries: parse_u64("repair_retries")?,
-        repair_moves: parse_u64("repair_moves")?,
-        repair_bytes: parse_u64("repair_bytes")?,
-        node_losses: parse_u64("node_losses")?,
-        unrecovered_losses: parse_u64("unrecovered_losses")?,
-        accumulated_loss: parse_f64("accumulated_loss")?,
-        final_cost: parse_f64("final_cost")?,
-        final_feasible,
+        epochs: p.u64("epochs")?,
+        queries: p.u64("queries")?,
+        evaluated: p.u64("evaluated")?,
+        migrations: p.u64("migrations")?,
+        objects_moved: p.u64("objects_moved")?,
+        migrated_bytes: p.u64("migrated_bytes")?,
+        rejected_not_worthwhile: p.u64("rejected_not_worthwhile")?,
+        rejected_not_robust: p.u64("rejected_not_robust")?,
+        degradations: p.u64("degradations")?,
+        solve_retries: p.u64("solve_retries")?,
+        repairs: p.u64("repairs")?,
+        repair_retries: p.u64("repair_retries")?,
+        repair_moves: p.u64("repair_moves")?,
+        repair_bytes: p.u64("repair_bytes")?,
+        node_losses: p.u64("node_losses")?,
+        unrecovered_losses: p.u64("unrecovered_losses")?,
+        accumulated_loss: p.f64("accumulated_loss")?,
+        final_cost: p.f64("final_cost")?,
+        final_feasible: p.bool("final_feasible")?,
     })
 }
 
@@ -369,7 +483,7 @@ const SERVING_KEYS: [&str; 12] = [
 /// Serialises a [`ServingReport`] in the v1 text format.
 #[must_use]
 pub fn format_serving_report(report: &ServingReport) -> String {
-    let mut out = String::from("# cca-serving-report v1\n");
+    let mut w = ReportWriter::new("# cca-serving-report v1");
     let u = [
         report.queries,
         report.served,
@@ -384,13 +498,11 @@ pub fn format_serving_report(report: &ServingReport) -> String {
         report.p99_ns,
     ];
     for (key, value) in SERVING_KEYS.iter().zip(u) {
-        let _ = writeln!(out, "{key}\t{value}");
+        w.field(key, value);
     }
-    let _ = writeln!(out, "digest\t{}", report.digest);
-    for (i, count) in report.histogram.nonempty() {
-        let _ = writeln!(out, "bucket\t{i}\t{count}");
-    }
-    out
+    w.field("digest", &report.digest);
+    w.buckets("bucket", &report.histogram);
+    w.finish()
 }
 
 /// Writes a serving report in the v1 text format.
@@ -413,99 +525,157 @@ pub fn write_serving_report<W: Write>(
 /// Fails on malformed input, unknown/duplicate/missing keys, bucket
 /// indices out of range, or unparsable values.
 pub fn read_serving_report<R: Read>(reader: R) -> Result<ServingReport, PersistError> {
-    let mut lines = BufReader::new(reader).lines();
-    let header = lines.next().transpose()?.ok_or(PersistError::Format {
-        line: 1,
-        message: "empty input".into(),
-    })?;
-    if header.trim() != "# cca-serving-report v1" {
-        return Err(PersistError::Format {
-            line: 1,
-            message: format!("bad header {header:?}"),
-        });
-    }
-    let mut values: HashMap<String, String> = HashMap::new();
-    let mut histogram = LatencyHistogram::new();
-    let mut seen_buckets: Vec<usize> = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let line_no = i + 2;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let (key, value) = trimmed.split_once('\t').ok_or(PersistError::Format {
-            line: line_no,
-            message: "expected key<TAB>value".into(),
-        })?;
-        if key == "bucket" {
-            let (idx, count) = value.split_once('\t').ok_or(PersistError::Format {
-                line: line_no,
-                message: "expected bucket<TAB>index<TAB>count".into(),
-            })?;
-            let idx: usize = idx.parse().map_err(|_| PersistError::Format {
-                line: line_no,
-                message: format!("invalid bucket index {idx:?}"),
-            })?;
-            if idx >= NUM_BUCKETS {
-                return Err(PersistError::Format {
-                    line: line_no,
-                    message: format!("bucket {idx} out of range (< {NUM_BUCKETS})"),
-                });
-            }
-            if seen_buckets.contains(&idx) {
-                return Err(PersistError::Format {
-                    line: line_no,
-                    message: format!("duplicate bucket {idx}"),
-                });
-            }
-            seen_buckets.push(idx);
-            let count: u64 = count.parse().map_err(|_| PersistError::Format {
-                line: line_no,
-                message: format!("invalid bucket count {count:?}"),
-            })?;
-            histogram.add_bucket(idx, count);
-            continue;
-        }
-        if !SERVING_KEYS.contains(&key) {
-            return Err(PersistError::Format {
-                line: line_no,
-                message: format!("unknown key {key:?}"),
-            });
-        }
-        if values.insert(key.to_string(), value.to_string()).is_some() {
-            return Err(PersistError::Format {
-                line: line_no,
-                message: format!("duplicate key {key:?}"),
-            });
-        }
-    }
-    let get = |key: &str| {
-        values.get(key).ok_or(PersistError::Format {
-            line: 0,
-            message: format!("missing key {key:?}"),
-        })
-    };
-    let parse_u64 = |key: &str| -> Result<u64, PersistError> {
-        get(key)?.parse().map_err(|_| PersistError::Format {
-            line: 0,
-            message: format!("invalid integer for {key:?}"),
-        })
-    };
+    let mut p = parse_framed(reader, "# cca-serving-report v1", &SERVING_KEYS, &["bucket"])?;
     Ok(ServingReport {
-        queries: parse_u64("queries")?,
-        served: parse_u64("served")?,
-        degraded: parse_u64("degraded")?,
-        shed_admission: parse_u64("shed_admission")?,
-        shed_overload: parse_u64("shed_overload")?,
-        shed_deadline: parse_u64("shed_deadline")?,
-        executed_bytes: parse_u64("executed_bytes")?,
-        estimated_bytes: parse_u64("estimated_bytes")?,
-        p50_ns: parse_u64("p50_ns")?,
-        p95_ns: parse_u64("p95_ns")?,
-        p99_ns: parse_u64("p99_ns")?,
-        histogram,
-        digest: get("digest")?.clone(),
+        queries: p.u64("queries")?,
+        served: p.u64("served")?,
+        degraded: p.u64("degraded")?,
+        shed_admission: p.u64("shed_admission")?,
+        shed_overload: p.u64("shed_overload")?,
+        shed_deadline: p.u64("shed_deadline")?,
+        executed_bytes: p.u64("executed_bytes")?,
+        estimated_bytes: p.u64("estimated_bytes")?,
+        p50_ns: p.u64("p50_ns")?,
+        p95_ns: p.u64("p95_ns")?,
+        p99_ns: p.u64("p99_ns")?,
+        digest: p.string("digest")?,
+        histogram: p.histogram("bucket"),
+    })
+}
+
+/// Field order of the v1 live-report format (also the write order);
+/// `bucket_pre`/`bucket_mid`/`bucket_post` histogram rows follow the
+/// scalar fields.
+const LIVE_KEYS: [&str; 27] = [
+    "epochs",
+    "queries",
+    "served",
+    "degraded",
+    "shed_admission",
+    "shed_overload",
+    "shed_deadline",
+    "executed_bytes",
+    "estimated_bytes",
+    "evaluated",
+    "migrations",
+    "abandoned_migrations",
+    "migration_epochs",
+    "migrated_bytes",
+    "max_epoch_migrated_bytes",
+    "migration_budget",
+    "pre_epochs",
+    "pre_queries",
+    "pre_executed_bytes",
+    "post_epochs",
+    "post_queries",
+    "post_executed_bytes",
+    "p50_ns",
+    "p95_ns",
+    "p99_ns",
+    "final_feasible",
+    "digest",
+];
+
+/// Serialises a [`LiveReport`] in the v1 text format
+/// (`# cca-live-report v1`).
+#[must_use]
+pub fn format_live_report(report: &LiveReport) -> String {
+    let mut w = ReportWriter::new("# cca-live-report v1");
+    let u = [
+        report.epochs,
+        report.queries,
+        report.served,
+        report.degraded,
+        report.shed_admission,
+        report.shed_overload,
+        report.shed_deadline,
+        report.executed_bytes,
+        report.estimated_bytes,
+        report.evaluated,
+        report.migrations,
+        report.abandoned_migrations,
+        report.migration_epochs,
+        report.migrated_bytes,
+        report.max_epoch_migrated_bytes,
+        report.migration_budget,
+        report.pre_epochs,
+        report.pre_queries,
+        report.pre_executed_bytes,
+        report.post_epochs,
+        report.post_queries,
+        report.post_executed_bytes,
+        report.p50_ns,
+        report.p95_ns,
+        report.p99_ns,
+    ];
+    for (key, value) in LIVE_KEYS.iter().zip(u) {
+        w.field(key, value);
+    }
+    w.field("final_feasible", report.final_feasible);
+    w.field("digest", &report.digest);
+    w.buckets("bucket_pre", &report.pre_histogram);
+    w.buckets("bucket_mid", &report.mid_histogram);
+    w.buckets("bucket_post", &report.post_histogram);
+    w.finish()
+}
+
+/// Writes a live report in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_live_report<W: Write>(
+    mut writer: W,
+    report: &LiveReport,
+) -> Result<(), PersistError> {
+    writer.write_all(format_live_report(report).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a v1 live report.
+///
+/// # Errors
+///
+/// Fails on malformed input, unknown/duplicate/missing keys, bucket
+/// indices out of range, or unparsable values.
+pub fn read_live_report<R: Read>(reader: R) -> Result<LiveReport, PersistError> {
+    let mut p = parse_framed(
+        reader,
+        "# cca-live-report v1",
+        &LIVE_KEYS,
+        &["bucket_pre", "bucket_mid", "bucket_post"],
+    )?;
+    Ok(LiveReport {
+        epochs: p.u64("epochs")?,
+        queries: p.u64("queries")?,
+        served: p.u64("served")?,
+        degraded: p.u64("degraded")?,
+        shed_admission: p.u64("shed_admission")?,
+        shed_overload: p.u64("shed_overload")?,
+        shed_deadline: p.u64("shed_deadline")?,
+        executed_bytes: p.u64("executed_bytes")?,
+        estimated_bytes: p.u64("estimated_bytes")?,
+        evaluated: p.u64("evaluated")?,
+        migrations: p.u64("migrations")?,
+        abandoned_migrations: p.u64("abandoned_migrations")?,
+        migration_epochs: p.u64("migration_epochs")?,
+        migrated_bytes: p.u64("migrated_bytes")?,
+        max_epoch_migrated_bytes: p.u64("max_epoch_migrated_bytes")?,
+        migration_budget: p.u64("migration_budget")?,
+        pre_epochs: p.u64("pre_epochs")?,
+        pre_queries: p.u64("pre_queries")?,
+        pre_executed_bytes: p.u64("pre_executed_bytes")?,
+        post_epochs: p.u64("post_epochs")?,
+        post_queries: p.u64("post_queries")?,
+        post_executed_bytes: p.u64("post_executed_bytes")?,
+        p50_ns: p.u64("p50_ns")?,
+        p95_ns: p.u64("p95_ns")?,
+        p99_ns: p.u64("p99_ns")?,
+        final_feasible: p.bool("final_feasible")?,
+        digest: p.string("digest")?,
+        pre_histogram: p.histogram("bucket_pre"),
+        mid_histogram: p.histogram("bucket_mid"),
+        post_histogram: p.histogram("bucket_post"),
     })
 }
 
@@ -676,6 +846,86 @@ mod tests {
         let mut full = format_serving_report(&serving_report());
         full.push_str("bucket\t7\t1\nbucket\t7\t2\n");
         assert!(read_serving_report(full.as_bytes()).is_err());
+    }
+
+    fn live_report() -> LiveReport {
+        let mut r = LiveReport {
+            epochs: 400,
+            queries: 25_600,
+            served: 24_000,
+            degraded: 600,
+            shed_admission: 900,
+            shed_overload: 60,
+            shed_deadline: 40,
+            executed_bytes: 9_876_543,
+            estimated_bytes: 54_321,
+            evaluated: 25,
+            migrations: 2,
+            abandoned_migrations: 1,
+            migration_epochs: 9,
+            migrated_bytes: 520_000,
+            max_epoch_migrated_bytes: 65_536,
+            migration_budget: 65_536,
+            pre_epochs: 150,
+            pre_queries: 9_000,
+            pre_executed_bytes: 4_000_000,
+            post_epochs: 200,
+            post_queries: 12_600,
+            post_executed_bytes: 3_876_543,
+            final_feasible: true,
+            digest: "b8eeaf2aa937b0b351101ce7dc36e65c".into(),
+            ..LiveReport::default()
+        };
+        for _ in 0..9_000u64 {
+            r.pre_histogram.record(40_000);
+        }
+        for _ in 0..3_000u64 {
+            r.mid_histogram.record(70_000);
+        }
+        for _ in 0..12_600u64 {
+            r.post_histogram.record(30_000);
+        }
+        r.refresh_quantiles();
+        r
+    }
+
+    #[test]
+    fn live_report_round_trips_bit_exact() {
+        let r = live_report();
+        assert!(r.counters_consistent());
+        let text = format_live_report(&r);
+        assert!(text.starts_with("# cca-live-report v1\n"));
+        let parsed = read_live_report(text.as_bytes()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert!(parsed.counters_consistent());
+        assert_eq!(format_live_report(&parsed), text, "formatting is a fixed point");
+        let mut buf = Vec::new();
+        write_live_report(&mut buf, &r).expect("write");
+        assert_eq!(read_live_report(buf.as_slice()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_live_reports_are_rejected() {
+        for text in [
+            "",
+            "not a header\nepochs\t1\n",
+            "# cca-serving-report v1\nqueries\t1\n", // wrong kind
+            "# cca-live-report v1\nepochs one\n",    // no tab
+            "# cca-live-report v1\nepochs\tone\n",   // bad integer
+            "# cca-live-report v1\nmystery\t1\n",    // unknown key
+            "# cca-live-report v1\nepochs\t1\nepochs\t2\n", // duplicate
+            "# cca-live-report v1\nepochs\t1\n",     // missing keys
+            "# cca-live-report v1\nbucket_pre\t65\t1\n", // bucket range
+            "# cca-live-report v1\nbucket_mid\t1\n", // bucket shape
+            "# cca-live-report v1\nbucket\t1\t1\n",  // serving's row key
+        ] {
+            assert!(read_live_report(text.as_bytes()).is_err(), "{text:?}");
+        }
+        // The same bucket index may appear once per row kind, but not
+        // twice within one kind.
+        let mut full = format_live_report(&live_report());
+        full.push_str("bucket_post\t3\t1\nbucket_post\t3\t2\n");
+        assert!(read_live_report(full.as_bytes()).is_err());
     }
 
     #[test]

@@ -115,6 +115,13 @@ impl LatencyHistogram {
         self.counts[i] += count;
     }
 
+    /// Adds every bucket of `other` into `self` (bucket-wise sum).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
     /// The `q`-quantile as a bucket upper bound: the smallest bucket
     /// bound below which at least `ceil(q × total)` samples fall.
     /// Returns 0 for an empty histogram. `q` is clamped to `[0, 1]`.
@@ -241,6 +248,210 @@ impl ServingReport {
     }
 }
 
+/// End-of-run account of one **live** run — serving and the drift
+/// controller in one epoch-structured loop (DESIGN.md §14). Aggregates
+/// the per-epoch [`ServingReport`]s, records how much migration traffic
+/// was interleaved and how it was paced, and splits the run into three
+/// windows around the migration activity:
+///
+/// * **pre** — epochs strictly before the first epoch that shipped
+///   migration bytes (with no migration at all, the whole run);
+/// * **mid** — epochs from the first through the last shipping epoch;
+/// * **post** — epochs strictly after the last shipping epoch.
+///
+/// `pre` vs `post` shipped-bytes-per-query is the paper's headline
+/// measured end to end under load; the per-window histograms expose the
+/// latency impact of the interleaved migration traffic.
+///
+/// Every field is a `u64`, a `bool`, or a hex digest, so the v1 text
+/// format ([`crate::persist::format_live_report`]) round-trips bit for
+/// bit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LiveReport {
+    /// Epochs driven.
+    pub epochs: u64,
+    /// Queries offered across all epochs.
+    pub queries: u64,
+    /// Queries executed in full within their latency budget.
+    pub served: u64,
+    /// Queries executed in full but over budget.
+    pub degraded: u64,
+    /// Queries shed at admission (estimate over budget).
+    pub shed_admission: u64,
+    /// Queries shed by a full admission queue.
+    pub shed_overload: u64,
+    /// Queries shed by the wall-clock liveness backstop.
+    pub shed_deadline: u64,
+    /// Communication bytes of fully executed queries.
+    pub executed_bytes: u64,
+    /// Estimated bytes of shed queries.
+    pub estimated_bytes: u64,
+    /// Controller gate evaluations that reached a verdict.
+    pub evaluated: u64,
+    /// Migrations the controller accepted (and staged).
+    pub migrations: u64,
+    /// Staged migrations abandoned because a slice stalled.
+    pub abandoned_migrations: u64,
+    /// Epochs that shipped at least one migration byte.
+    pub migration_epochs: u64,
+    /// Migration bytes shipped across the run.
+    pub migrated_bytes: u64,
+    /// The largest single-epoch migration traffic — must never exceed
+    /// [`migration_budget`](Self::migration_budget).
+    pub max_epoch_migrated_bytes: u64,
+    /// The per-epoch migration byte budget the run was configured with.
+    pub migration_budget: u64,
+    /// Epochs in the pre-migration window.
+    pub pre_epochs: u64,
+    /// Executed (served + degraded) queries in the pre window.
+    pub pre_queries: u64,
+    /// Communication bytes of executed queries in the pre window.
+    pub pre_executed_bytes: u64,
+    /// Epochs in the post-migration window.
+    pub post_epochs: u64,
+    /// Executed queries in the post window.
+    pub post_queries: u64,
+    /// Communication bytes of executed queries in the post window.
+    pub post_executed_bytes: u64,
+    /// Whole-run virtual-latency p50 (dyadic bucket upper bound, ns).
+    pub p50_ns: u64,
+    /// Whole-run virtual-latency p95.
+    pub p95_ns: u64,
+    /// Whole-run virtual-latency p99.
+    pub p99_ns: u64,
+    /// Whether the final placement fits the surviving capacities under
+    /// the controller's slack.
+    pub final_feasible: bool,
+    /// MD5 over `epoch\tmigrated_bytes\t<epoch serving digest>` lines in
+    /// epoch order — byte-identity of the whole interleaved run across
+    /// threads, shards, and admission windows.
+    pub digest: String,
+    /// Executed-query latencies in the pre window.
+    pub pre_histogram: LatencyHistogram,
+    /// Executed-query latencies in the mid (migration) window.
+    pub mid_histogram: LatencyHistogram,
+    /// Executed-query latencies in the post window.
+    pub post_histogram: LatencyHistogram,
+}
+
+impl LiveReport {
+    /// True when the serving counters exactly partition the offered
+    /// stream even with migrations interleaved, the three window
+    /// histograms partition the executed queries, and the per-window
+    /// query scalars match their histograms.
+    #[must_use]
+    pub fn counters_consistent(&self) -> bool {
+        let executed = self.served + self.degraded;
+        self.queries
+            == executed + self.shed_admission + self.shed_overload + self.shed_deadline
+            && self.pre_histogram.total()
+                + self.mid_histogram.total()
+                + self.post_histogram.total()
+                == executed
+            && self.pre_histogram.total() == self.pre_queries
+            && self.post_histogram.total() == self.post_queries
+    }
+
+    /// True when the per-epoch pacing contract held: no epoch shipped
+    /// more than the configured budget.
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.max_epoch_migrated_bytes <= self.migration_budget
+    }
+
+    /// Mean shipped bytes per executed query in the pre-migration
+    /// window; `None` when the window executed nothing.
+    #[must_use]
+    pub fn pre_bytes_per_query(&self) -> Option<f64> {
+        (self.pre_queries > 0).then(|| self.pre_executed_bytes as f64 / self.pre_queries as f64)
+    }
+
+    /// Mean shipped bytes per executed query in the post-migration
+    /// window; `None` when the window executed nothing.
+    #[must_use]
+    pub fn post_bytes_per_query(&self) -> Option<f64> {
+        (self.post_queries > 0).then(|| self.post_executed_bytes as f64 / self.post_queries as f64)
+    }
+
+    /// True when both windows executed queries and the post-migration
+    /// window ships strictly fewer bytes per query — the end-to-end
+    /// payoff the migration was accepted for.
+    #[must_use]
+    pub fn improved(&self) -> bool {
+        matches!(
+            (self.pre_bytes_per_query(), self.post_bytes_per_query()),
+            (Some(pre), Some(post)) if post < pre
+        )
+    }
+
+    /// True when any query was answered degraded or shed, or a staged
+    /// migration was abandoned — the exit-2 condition of the `cca live`
+    /// taxonomy.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.degraded + self.shed_admission + self.shed_overload + self.shed_deadline > 0
+            || self.abandoned_migrations > 0
+    }
+
+    /// Recomputes the whole-run quantiles from the merged window
+    /// histograms.
+    pub fn refresh_quantiles(&mut self) {
+        let mut merged = self.pre_histogram.clone();
+        merged.merge(&self.mid_histogram);
+        merged.merge(&self.post_histogram);
+        self.p50_ns = merged.quantile_upper_bound(0.50);
+        self.p95_ns = merged.quantile_upper_bound(0.95);
+        self.p99_ns = merged.quantile_upper_bound(0.99);
+    }
+
+    /// Human-readable summary (stderr companion of the machine report).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} epochs: served {}/{} queries ({} degraded, {} shed: {} admission / {} overload / {} deadline)",
+            self.epochs,
+            self.served,
+            self.queries,
+            self.degraded,
+            self.shed_admission + self.shed_overload + self.shed_deadline,
+            self.shed_admission,
+            self.shed_overload,
+            self.shed_deadline,
+        );
+        let _ = writeln!(
+            out,
+            "migrations: {} staged, {} abandoned; {} bytes over {} epochs (max {}/epoch, budget {})",
+            self.migrations,
+            self.abandoned_migrations,
+            self.migrated_bytes,
+            self.migration_epochs,
+            self.max_epoch_migrated_bytes,
+            self.migration_budget,
+        );
+        match (self.pre_bytes_per_query(), self.post_bytes_per_query()) {
+            (Some(pre), Some(post)) => {
+                let _ = writeln!(
+                    out,
+                    "shipped bytes/query: {pre:.1} pre-migration -> {post:.1} post-migration ({:+.1}%)",
+                    (post / pre - 1.0) * 100.0
+                );
+            }
+            (Some(pre), None) => {
+                let _ = writeln!(out, "shipped bytes/query: {pre:.1} (no post-migration window)");
+            }
+            _ => {}
+        }
+        let _ = writeln!(
+            out,
+            "virtual latency p50/p95/p99: {}/{}/{} ns; final feasible {}",
+            self.p50_ns, self.p95_ns, self.p99_ns, self.final_feasible
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +536,81 @@ mod tests {
         assert_eq!(r.p50_ns, 1023);
         assert_eq!(r.p99_ns, 1023);
         assert!(r.summary().contains("p50/p95/p99"));
+    }
+
+    #[test]
+    fn merge_sums_bucket_wise() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        a.record(100);
+        b.record(100);
+        b.record(10_000);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.nonempty().collect::<Vec<_>>(), vec![(7, 3), (14, 1)]);
+    }
+
+    #[test]
+    fn live_report_partition_and_window_invariants() {
+        let mut r = LiveReport {
+            epochs: 3,
+            queries: 12,
+            served: 8,
+            degraded: 1,
+            shed_admission: 2,
+            shed_overload: 1,
+            shed_deadline: 0,
+            pre_queries: 4,
+            post_queries: 3,
+            migration_budget: 64,
+            max_epoch_migrated_bytes: 64,
+            ..LiveReport::default()
+        };
+        for _ in 0..4 {
+            r.pre_histogram.record(50);
+        }
+        for _ in 0..2 {
+            r.mid_histogram.record(50);
+        }
+        for _ in 0..3 {
+            r.post_histogram.record(50);
+        }
+        assert!(r.counters_consistent());
+        assert!(r.within_budget());
+        assert!(r.degraded(), "shed queries mark the run degraded");
+        r.max_epoch_migrated_bytes = 65;
+        assert!(!r.within_budget(), "one over-budget epoch must trip the gate");
+        r.max_epoch_migrated_bytes = 64;
+        r.pre_queries += 1;
+        assert!(!r.counters_consistent(), "window scalars must match histograms");
+    }
+
+    #[test]
+    fn live_report_improvement_requires_both_windows() {
+        let mut r = LiveReport {
+            pre_queries: 10,
+            pre_executed_bytes: 1000,
+            ..LiveReport::default()
+        };
+        assert_eq!(r.pre_bytes_per_query(), Some(100.0));
+        assert_eq!(r.post_bytes_per_query(), None);
+        assert!(!r.improved(), "no post window: no improvement claim");
+        r.post_queries = 10;
+        r.post_executed_bytes = 800;
+        assert!(r.improved());
+        r.post_executed_bytes = 1000;
+        assert!(!r.improved(), "equality is not strict improvement");
+        assert!(r.summary().contains("shipped bytes/query"));
+    }
+
+    #[test]
+    fn live_report_abandoned_migration_marks_degraded() {
+        let r = LiveReport {
+            abandoned_migrations: 1,
+            ..LiveReport::default()
+        };
+        assert!(r.degraded());
+        assert!(!LiveReport::default().degraded());
     }
 }

@@ -1,0 +1,229 @@
+//! Round-trip property battery over the shared report framing
+//! (DESIGN.md §13/§14): every persisted report kind — controller,
+//! serving, live — must re-read bit for bit from its own text format,
+//! and formatting the parsed copy must be a fixed point. The reports
+//! are randomized across the full field ranges (zeros, maxima, awkward
+//! floats, sparse and dense histograms), so any asymmetry between the
+//! shared writer and parser shows up as a shrunk counterexample.
+
+use cca_check::{prop_assert, prop_assert_eq, Checker, Rng, SeedableRng, Shrink, StdRng};
+use cca_core::{
+    format_controller_report, format_live_report, format_serving_report, read_controller_report,
+    read_live_report, read_serving_report, ControllerReport, LatencyHistogram, LiveReport,
+    ServingReport,
+};
+
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/persist_properties.regressions");
+
+#[derive(Debug, Clone)]
+struct ReportCase {
+    seed: u64,
+}
+
+impl Shrink for ReportCase {
+    fn shrink(&self) -> Vec<Self> {
+        self.seed
+            .shrink()
+            .into_iter()
+            .map(|seed| ReportCase { seed })
+            .collect()
+    }
+}
+
+fn report_case(rng: &mut StdRng) -> ReportCase {
+    ReportCase {
+        seed: rng.random_range(0..u64::MAX),
+    }
+}
+
+/// A u64 biased toward the edges (0, small, `u64::MAX`) where text
+/// formats usually break.
+fn edge_u64(rng: &mut StdRng) -> u64 {
+    match rng.random_range(0u8..4) {
+        0 => 0,
+        1 => rng.random_range(0..1_000),
+        2 => u64::MAX,
+        _ => rng.random_range(0..u64::MAX),
+    }
+}
+
+/// Floats that stress the shortest-decimal round trip: exact zeros,
+/// dyadics, classic non-representable decimals, and huge/tiny ratios.
+fn edge_f64(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0u8..5) {
+        0 => 0.0,
+        1 => rng.random_range(0..1_000_000) as f64 / 1024.0,
+        2 => 0.1 + 0.2,
+        3 => rng.random_range(0..u64::MAX) as f64 / 3.0,
+        _ => rng.random_range(1..u64::MAX) as f64 * 1e-9,
+    }
+}
+
+fn digest(rng: &mut StdRng) -> String {
+    format!(
+        "{:016x}{:016x}",
+        rng.random_range(0..u64::MAX),
+        rng.random_range(0..u64::MAX)
+    )
+}
+
+fn histogram(rng: &mut StdRng) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for _ in 0..rng.random_range(0usize..8) {
+        h.add_bucket(rng.random_range(0..65), rng.random_range(1..1_000_000));
+    }
+    h
+}
+
+fn controller_report(rng: &mut StdRng) -> ControllerReport {
+    ControllerReport {
+        epochs: edge_u64(rng),
+        queries: edge_u64(rng),
+        evaluated: edge_u64(rng),
+        migrations: edge_u64(rng),
+        objects_moved: edge_u64(rng),
+        migrated_bytes: edge_u64(rng),
+        rejected_not_worthwhile: edge_u64(rng),
+        rejected_not_robust: edge_u64(rng),
+        degradations: edge_u64(rng),
+        solve_retries: edge_u64(rng),
+        repairs: edge_u64(rng),
+        repair_retries: edge_u64(rng),
+        repair_moves: edge_u64(rng),
+        repair_bytes: edge_u64(rng),
+        node_losses: edge_u64(rng),
+        unrecovered_losses: edge_u64(rng),
+        accumulated_loss: edge_f64(rng),
+        final_cost: edge_f64(rng),
+        final_feasible: rng.random_range(0u8..2) == 1,
+    }
+}
+
+fn serving_report(rng: &mut StdRng) -> ServingReport {
+    ServingReport {
+        queries: edge_u64(rng),
+        served: edge_u64(rng),
+        degraded: edge_u64(rng),
+        shed_admission: edge_u64(rng),
+        shed_overload: edge_u64(rng),
+        shed_deadline: edge_u64(rng),
+        executed_bytes: edge_u64(rng),
+        estimated_bytes: edge_u64(rng),
+        p50_ns: edge_u64(rng),
+        p95_ns: edge_u64(rng),
+        p99_ns: edge_u64(rng),
+        histogram: histogram(rng),
+        digest: digest(rng),
+    }
+}
+
+fn live_report(rng: &mut StdRng) -> LiveReport {
+    LiveReport {
+        epochs: edge_u64(rng),
+        queries: edge_u64(rng),
+        served: edge_u64(rng),
+        degraded: edge_u64(rng),
+        shed_admission: edge_u64(rng),
+        shed_overload: edge_u64(rng),
+        shed_deadline: edge_u64(rng),
+        executed_bytes: edge_u64(rng),
+        estimated_bytes: edge_u64(rng),
+        evaluated: edge_u64(rng),
+        migrations: edge_u64(rng),
+        abandoned_migrations: edge_u64(rng),
+        migration_epochs: edge_u64(rng),
+        migrated_bytes: edge_u64(rng),
+        max_epoch_migrated_bytes: edge_u64(rng),
+        migration_budget: edge_u64(rng),
+        pre_epochs: edge_u64(rng),
+        pre_queries: edge_u64(rng),
+        pre_executed_bytes: edge_u64(rng),
+        post_epochs: edge_u64(rng),
+        post_queries: edge_u64(rng),
+        post_executed_bytes: edge_u64(rng),
+        p50_ns: edge_u64(rng),
+        p95_ns: edge_u64(rng),
+        p99_ns: edge_u64(rng),
+        final_feasible: rng.random_range(0u8..2) == 1,
+        digest: digest(rng),
+        pre_histogram: histogram(rng),
+        mid_histogram: histogram(rng),
+        post_histogram: histogram(rng),
+    }
+}
+
+/// Every report kind round-trips bit for bit and formatting the parsed
+/// copy reproduces the exact bytes.
+#[test]
+fn every_report_kind_round_trips_bit_exact() {
+    Checker::new("every_report_kind_round_trips_bit_exact")
+        .cases(96)
+        .regressions(REGRESSIONS)
+        .run(report_case, |case| {
+            let mut rng = StdRng::seed_from_u64(case.seed);
+
+            let r = controller_report(&mut rng);
+            let text = format_controller_report(&r);
+            prop_assert!(
+                text.starts_with("# cca-controller-report v1\n"),
+                "controller header missing"
+            );
+            let parsed = read_controller_report(text.as_bytes())
+                .map_err(|e| format!("controller report failed to parse: {e}"))?;
+            prop_assert_eq!(&parsed, &r, "controller report changed in flight");
+            prop_assert_eq!(
+                format_controller_report(&parsed),
+                text,
+                "controller formatting is not a fixed point"
+            );
+
+            let r = serving_report(&mut rng);
+            let text = format_serving_report(&r);
+            prop_assert!(
+                text.starts_with("# cca-serving-report v1\n"),
+                "serving header missing"
+            );
+            let parsed = read_serving_report(text.as_bytes())
+                .map_err(|e| format!("serving report failed to parse: {e}"))?;
+            prop_assert_eq!(&parsed, &r, "serving report changed in flight");
+            prop_assert_eq!(
+                format_serving_report(&parsed),
+                text,
+                "serving formatting is not a fixed point"
+            );
+
+            let r = live_report(&mut rng);
+            let text = format_live_report(&r);
+            prop_assert!(
+                text.starts_with("# cca-live-report v1\n"),
+                "live header missing"
+            );
+            let parsed = read_live_report(text.as_bytes())
+                .map_err(|e| format!("live report failed to parse: {e}"))?;
+            prop_assert_eq!(&parsed, &r, "live report changed in flight");
+            prop_assert_eq!(
+                format_live_report(&parsed),
+                text,
+                "live formatting is not a fixed point"
+            );
+
+            Ok(())
+        });
+}
+
+/// The three formats are mutually exclusive: a report parses only under
+/// its own header.
+#[test]
+fn headers_are_mutually_exclusive() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let controller = format_controller_report(&controller_report(&mut rng));
+    let serving = format_serving_report(&serving_report(&mut rng));
+    let live = format_live_report(&live_report(&mut rng));
+    assert!(read_controller_report(serving.as_bytes()).is_err());
+    assert!(read_controller_report(live.as_bytes()).is_err());
+    assert!(read_serving_report(controller.as_bytes()).is_err());
+    assert!(read_serving_report(live.as_bytes()).is_err());
+    assert!(read_live_report(controller.as_bytes()).is_err());
+    assert!(read_live_report(serving.as_bytes()).is_err());
+}

@@ -39,6 +39,15 @@
 //!     and serve it through the batched-admission executor; stdout is
 //!     the deterministic `# cca-serving-report v1` (byte-identical for
 //!     any --threads/--shards/--inflight), human summary on stderr
+//!
+//! cca live [--epochs N] [--warm-drift K] [--migration-budget B] ...
+//!     live re-optimizing runtime: serving and the drift controller in
+//!     one epoch loop — the executor's admitted stream feeds the
+//!     controller's estimates, accepted migrations ship as per-epoch
+//!     byte-budgeted slices between serving windows, and migration
+//!     bytes are charged into the serving virtual-time ledger; stdout
+//!     is the deterministic `# cca-live-report v1` (byte-identical for
+//!     any --threads/--shards/--inflight)
 //! ```
 //!
 //! `place --out FILE` saves the computed placement; `workload --out FILE`
@@ -53,12 +62,13 @@
 
 use cca::algo::{
     compose_with_hashed_rest, figure4::Figure4Lp, format_controller_report,
-    format_serving_report, greedy_placement, importance_ranking, round_samples_scored,
-    scope_subproblem, solve_relaxation, ControllerConfig, FaultPlan, ObjectId, RelaxOptions,
-    ResilienceOptions, Rung, SolveBudget, Strategy,
+    format_live_report, format_serving_report, greedy_placement, importance_ranking,
+    round_samples_scored, scope_subproblem, solve_relaxation, ControllerConfig, FaultPlan,
+    ObjectId, RelaxOptions, ResilienceOptions, Rung, SolveBudget, Strategy,
 };
 use cca::online::{run_online, OnlineConfig};
 use cca::pipeline::{Pipeline, PipelineConfig};
+use cca::runtime::{run_live, LiveConfig};
 use cca::serve::{serve, ServeConfig};
 use cca::trace::TraceConfig;
 use cca_rand::rngs::StdRng;
@@ -87,6 +97,9 @@ struct Args {
     drop_nodes: usize,
     queries: usize,
     inflight: usize,
+    migration_budget: u64,
+    warm_drift: u64,
+    drift_epochs: Option<u64>,
 }
 
 impl Default for Args {
@@ -111,6 +124,9 @@ impl Default for Args {
             drop_nodes: 0,
             queries: 10_000,
             inflight: 64,
+            migration_budget: 64 * 1024,
+            warm_drift: 0,
+            drift_epochs: None,
         }
     }
 }
@@ -125,7 +141,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage: cca <workload|evaluate|place|replay|export-lp|probe|run|serve> [options]\n\
+    "usage: cca <workload|evaluate|place|replay|export-lp|probe|run|serve|live> [options]\n\
      options:\n\
        --preset small|paper   workload size (default small)\n\
        --seed N               workload seed (default 42)\n\
@@ -159,9 +175,16 @@ fn usage() -> &'static str {
        --queries N            queries in the served stream (serve only;\n\
                               default 10000)\n\
        --inflight K           admission-window size: max queries in\n\
-                              flight and max batch per dispatch (serve\n\
-                              only; default 64; the report is identical\n\
+                              flight and max batch per dispatch (serve/\n\
+                              live; default 64; the report is identical\n\
                               for any K)\n\
+       --migration-budget B   max migration bytes shipped per epoch\n\
+                              (live only; default 65536)\n\
+       --warm-drift K         drift steps applied before the first epoch\n\
+                              — the regime shift the run recovers from\n\
+                              (live only; default 0)\n\
+       --drift-epochs N       drift only the first N epochs, or 'all'\n\
+                              (live only; default all)\n\
      exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
 }
 
@@ -240,6 +263,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--inflight" => args.inflight = parse_count(flag, &value()?, u64::MAX)? as usize,
             "--drop-nodes" => {
                 args.drop_nodes = value()?.parse().map_err(|e| format!("--drop-nodes: {e}"))?;
+            }
+            "--migration-budget" => {
+                args.migration_budget = parse_count(flag, &value()?, u64::MAX)?;
+            }
+            "--warm-drift" => {
+                args.warm_drift = value()?.parse().map_err(|e| format!("--warm-drift: {e}"))?;
+            }
+            "--drift-epochs" => {
+                let v = value()?;
+                args.drift_epochs = if v == "all" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("--drift-epochs: {e}"))?)
+                };
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -360,6 +397,30 @@ fn save_placement(
     Ok(())
 }
 
+/// The shared tail of every report-producing arm: the machine report on
+/// stdout, the human summary on stderr, and an optional `--out` copy.
+fn emit_report(text: &str, summary: &str, out: Option<&str>, label: &str) -> Result<(), String> {
+    print!("{text}");
+    eprint!("{summary}");
+    if let Some(path) = out {
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {label} to {path}");
+    }
+    Ok(())
+}
+
+/// The repo-wide exit taxonomy (module docs): 3 when the outcome is
+/// infeasible, 2 when it completed degraded, 0 otherwise.
+fn exit_taxonomy(infeasible: bool, degraded: bool) -> ExitCode {
+    if infeasible {
+        ExitCode::from(3)
+    } else if degraded {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_place(args: &Args) -> Result<ExitCode, String> {
     if args.deadline_ms.is_some() || args.min_strategy.is_some() {
         return cmd_place_resilient(args);
@@ -375,11 +436,7 @@ fn cmd_place(args: &Args) -> Result<ExitCode, String> {
     if let Some(path) = &args.out {
         save_placement(path, &p.problem, &report.placement)?;
     }
-    Ok(if audit.feasible() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(3)
-    })
+    Ok(exit_taxonomy(!audit.feasible(), false))
 }
 
 fn cmd_place_resilient(args: &Args) -> Result<ExitCode, String> {
@@ -417,13 +474,7 @@ fn cmd_place_resilient(args: &Args) -> Result<ExitCode, String> {
     if let Some(path) = &args.out {
         save_placement(path, &r.effective_problem, &r.placement)?;
     }
-    Ok(if !r.audit.feasible() {
-        ExitCode::from(3)
-    } else if r.report.degraded {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
-    })
+    Ok(exit_taxonomy(!r.audit.feasible(), r.report.degraded))
 }
 
 /// `cca probe`: LP-relax once, round `--candidates` placements from the
@@ -478,11 +529,7 @@ fn cmd_probe(args: &Args) -> Result<ExitCode, String> {
     if let Some(path) = &args.out {
         save_placement(path, &p.problem, &placement)?;
     }
-    Ok(if audit.feasible() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(3)
-    })
+    Ok(exit_taxonomy(!audit.feasible(), false))
 }
 
 /// `cca run`: the online drift-driven re-optimization loop (DESIGN.md
@@ -521,19 +568,16 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     );
     let outcome = run_online(&p, &config);
     let text = format_controller_report(&outcome.report);
-    print!("{text}");
-    eprint!("{}", outcome.report.summary());
-    if let Some(path) = &args.out {
-        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote controller report to {path}");
-    }
-    Ok(if !outcome.report.final_feasible {
-        ExitCode::from(3)
-    } else if outcome.report.degraded() {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
-    })
+    emit_report(
+        &text,
+        &outcome.report.summary(),
+        args.out.as_deref(),
+        "controller report",
+    )?;
+    Ok(exit_taxonomy(
+        !outcome.report.final_feasible,
+        outcome.report.degraded(),
+    ))
 }
 
 /// `cca serve`: the async serving front (DESIGN.md §13). Places greedily,
@@ -556,6 +600,7 @@ fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
         threads: args.threads(),
         deadline_ms: args.deadline_ms,
         burst: None,
+        overhead_ns: 0,
     };
     eprintln!(
         "serving {} queries (inflight {}, {} threads)...",
@@ -571,25 +616,75 @@ fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
     );
     let elapsed = start.elapsed();
     let text = format_serving_report(&outcome.report);
-    print!("{text}");
-    eprint!("{}", outcome.report.summary());
-    eprintln!(
-        "{} batches (max {}), {:.0} queries/s wall-clock",
+    let mut summary = outcome.report.summary();
+    summary.push_str(&format!(
+        "{} batches (max {}), {:.0} queries/s wall-clock\n",
         outcome.batches,
         outcome.max_batch,
         args.queries as f64 / elapsed.as_secs_f64().max(1e-9)
+    ));
+    emit_report(&text, &summary, args.out.as_deref(), "serving report")?;
+    Ok(exit_taxonomy(
+        !audit.feasible(),
+        outcome.report.degraded(),
+    ))
+}
+
+/// `cca live`: the live re-optimizing runtime (DESIGN.md §14). Places
+/// greedily, optionally applies `--warm-drift` regime-shift steps to the
+/// query model, then drives `--epochs` epochs in which the admitted
+/// serving stream feeds the controller's estimates and accepted
+/// migrations ship as `--migration-budget`-bounded slices between
+/// serving windows. Stdout is exactly the serialized
+/// `# cca-live-report v1` — byte-identical for a fixed seed across any
+/// `--threads`, `--shards` and `--inflight`; the human summary goes to
+/// stderr. `--deadline-ms` here is the per-query serving budget (the
+/// controller's solves stay un-deadlined, keeping the run
+/// deterministic).
+fn cmd_live(args: &Args) -> Result<ExitCode, String> {
+    let p = build_pipeline(args)?;
+    let controller = ControllerConfig {
+        threads: args.threads(),
+        shards: args.shards.unwrap_or(0),
+        // A bounded replay amortizes migrations over the run itself: a
+        // move is worthwhile iff it pays for its bytes within the epochs
+        // this run will actually serve.
+        horizon_epochs: args.epochs,
+        ..ControllerConfig::default()
+    };
+    let config = LiveConfig {
+        epochs: args.epochs,
+        queries_per_epoch: args.queries_per_epoch,
+        drift_sigma: args.drift_sigma,
+        drift_epochs: args.drift_epochs,
+        warm_drift_steps: args.warm_drift,
+        seed: args.seed,
+        inflight: args.inflight,
+        threads: args.threads(),
+        deadline_ms: args.deadline_ms,
+        migration_budget: args.migration_budget,
+        controller,
+    };
+    eprintln!(
+        "running {} live epochs x {} queries (warm drift {}, sigma {}, budget {} B/epoch)...",
+        config.epochs,
+        config.queries_per_epoch,
+        config.warm_drift_steps,
+        config.drift_sigma,
+        config.migration_budget
     );
-    if let Some(path) = &args.out {
-        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote serving report to {path}");
-    }
-    Ok(if !audit.feasible() {
-        ExitCode::from(3)
-    } else if outcome.report.degraded() {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
-    })
+    let outcome = run_live(&p, &config);
+    let text = format_live_report(&outcome.report);
+    emit_report(
+        &text,
+        &outcome.report.summary(),
+        args.out.as_deref(),
+        "live report",
+    )?;
+    Ok(exit_taxonomy(
+        !outcome.report.final_feasible,
+        outcome.report.degraded(),
+    ))
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
@@ -658,6 +753,7 @@ fn main() -> ExitCode {
         "probe" => cmd_probe(&args),
         "run" => cmd_run(&args),
         "serve" => cmd_serve(&args),
+        "live" => cmd_live(&args),
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
         "export-lp" => cmd_export_lp(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {

@@ -55,4 +55,5 @@ pub use cca_trace as trace;
 
 pub mod online;
 pub mod pipeline;
+pub mod runtime;
 pub mod serve;

@@ -22,7 +22,7 @@ use cca_core::controller::{Controller, ControllerConfig, ControllerReport, Epoch
 use cca_core::{greedy_placement, CcaProblem, FaultPlan, ObjectId, Placement};
 use cca_rand::rngs::StdRng;
 use cca_rand::SeedableRng;
-use cca_trace::{DriftConfig, PairStats};
+use cca_trace::{DriftConfig, PairStats, QueryLog};
 
 /// Configuration of one online run.
 #[derive(Debug, Clone)]
@@ -80,6 +80,46 @@ pub fn fault_epochs(epochs: u64, drop_nodes: usize) -> Vec<u64> {
         .collect()
 }
 
+/// Folds one epoch's query log into the controller's estimation feed:
+/// pair statistics under the pipeline's [`CorrelationMode`], mapped from
+/// word ids to object ids, with co-occurrence ratios recovered as integer
+/// counts. Shared by the offline driver ([`run_online`]) and the live
+/// runtime ([`crate::runtime::run_live`]), which feeds the *executed*
+/// slice of the admitted stream through the same path — one estimator,
+/// not two.
+#[must_use]
+pub fn epoch_observation(pipeline: &Pipeline, log: &QueryLog) -> EpochObservation {
+    let stats = match pipeline.config().correlation {
+        CorrelationMode::AllPairs => PairStats::from_log(log),
+        CorrelationMode::TwoSmallest => {
+            PairStats::from_log_two_smallest(log, |w| pipeline.index.size_bytes(w))
+        }
+        CorrelationMode::LargestRest => {
+            PairStats::from_log_largest_rest(log, |w| pipeline.index.size_bytes(w))
+        }
+    };
+
+    let queries = stats.num_queries();
+    let mut pair_counts = Vec::new();
+    for (key, r) in stats.iter() {
+        let (oa, ob) = (
+            pipeline.object_of_word[key.0.index()],
+            pipeline.object_of_word[key.1.index()],
+        );
+        if oa == usize::MAX || ob == usize::MAX {
+            continue;
+        }
+        // `r` is count/num_queries with num_queries ≤ 2^53: the
+        // division is exact enough to recover the integer count.
+        let count = (r * queries as f64).round() as u64;
+        pair_counts.push((ObjectId(oa as u32), ObjectId(ob as u32), count));
+    }
+    EpochObservation {
+        pair_counts,
+        queries,
+    }
+}
+
 /// Runs the controller loop; see the module docs. Equivalent to
 /// [`run_online_with`] with a no-op observer.
 #[must_use]
@@ -121,35 +161,7 @@ pub fn run_online_with(
 
         model = model.drifted(drift, &mut drift_rng);
         let log = model.sample_log(config.queries_per_epoch, &mut sample_rng);
-        let stats = match pipeline.config().correlation {
-            CorrelationMode::AllPairs => PairStats::from_log(&log),
-            CorrelationMode::TwoSmallest => {
-                PairStats::from_log_two_smallest(&log, |w| pipeline.index.size_bytes(w))
-            }
-            CorrelationMode::LargestRest => {
-                PairStats::from_log_largest_rest(&log, |w| pipeline.index.size_bytes(w))
-            }
-        };
-
-        let queries = stats.num_queries();
-        let mut pair_counts = Vec::new();
-        for (key, r) in stats.iter() {
-            let (oa, ob) = (
-                pipeline.object_of_word[key.0.index()],
-                pipeline.object_of_word[key.1.index()],
-            );
-            if oa == usize::MAX || ob == usize::MAX {
-                continue;
-            }
-            // `r` is count/num_queries with num_queries ≤ 2^53: the
-            // division is exact enough to recover the integer count.
-            let count = (r * queries as f64).round() as u64;
-            pair_counts.push((ObjectId(oa as u32), ObjectId(ob as u32), count));
-        }
-        let obs = EpochObservation {
-            pair_counts,
-            queries,
-        };
+        let obs = epoch_observation(pipeline, &log);
         let outcome = controller.step(&obs);
         observe(epoch, &outcome);
     }

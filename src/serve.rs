@@ -108,6 +108,14 @@ pub struct ServeConfig {
     /// the closed loop: arrivals are admitted only as slots free up, so
     /// the queue never overflows.
     pub burst: Option<usize>,
+    /// Extra virtual nanoseconds charged to every query on top of
+    /// [`service_ns`] — background interference (the live runtime charges
+    /// each epoch's migration traffic here, spread per query, so moving
+    /// bytes and serving bytes share one virtual-time ledger). Counted in
+    /// the admission estimate, the executed latency, and every shed
+    /// path's estimated latency alike, so the taxonomy stays consistent;
+    /// `0` is byte-identical to the pre-overhead format.
+    pub overhead_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +125,7 @@ impl Default for ServeConfig {
             threads: 1,
             deadline_ms: None,
             burst: None,
+            overhead_ns: 0,
         }
     }
 }
@@ -290,6 +299,7 @@ impl Task {
         words: usize,
         est_bytes: u64,
         budget_ns: Option<u64>,
+        overhead_ns: u64,
     ) -> Self {
         let flag = WakeFlag::new();
         let waker = Waker::from(Arc::clone(&flag));
@@ -306,7 +316,8 @@ impl Task {
                     pages,
                     pages_digest,
                 } => {
-                    let latency_ns = service_ns(words, comm_bytes);
+                    let latency_ns =
+                        service_ns(words, comm_bytes).saturating_add(overhead_ns);
                     let status = match budget_ns {
                         Some(b) if latency_ns > b => ResponseStatus::Degraded,
                         _ => ResponseStatus::Served,
@@ -325,6 +336,7 @@ impl Task {
                     ResponseStatus::ShedDeadline,
                     words,
                     est_bytes,
+                    overhead_ns,
                 ),
             }
         };
@@ -343,12 +355,13 @@ fn estimate_response(
     status: ResponseStatus,
     words: usize,
     est_bytes: u64,
+    overhead_ns: u64,
 ) -> Response {
     Response {
         index,
         status,
         bytes: est_bytes,
-        latency_ns: service_ns(words, est_bytes),
+        latency_ns: service_ns(words, est_bytes).saturating_add(overhead_ns),
         pages: 0,
         pages_digest: md5::digest(b""),
     }
@@ -426,16 +439,18 @@ pub fn serve(
                         ResponseStatus::ShedOverload,
                         words,
                         est_bytes,
+                        config.overhead_ns,
                     ));
                     continue;
                 }
                 if let Some(budget) = budget_ns {
-                    if service_ns(words, est_bytes) > budget {
+                    if service_ns(words, est_bytes).saturating_add(config.overhead_ns) > budget {
                         responses[i] = Some(estimate_response(
                             i,
                             ResponseStatus::ShedAdmission,
                             words,
                             est_bytes,
+                            config.overhead_ns,
                         ));
                         continue;
                     }
@@ -446,6 +461,7 @@ pub fn serve(
                     words,
                     est_bytes,
                     budget_ns,
+                    config.overhead_ns,
                 ));
                 admitted += 1;
             }
@@ -680,6 +696,46 @@ mod tests {
             out.report.served + out.report.shed_overload,
             queries.len() as u64
         );
+    }
+
+    #[test]
+    fn overhead_shifts_every_latency_and_tightens_admission() {
+        let (p, cluster, queries) = fixture();
+        let base = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &queries,
+            &ServeConfig::default(),
+        );
+        let shifted = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &queries,
+            &ServeConfig {
+                overhead_ns: 1_000,
+                ..ServeConfig::default()
+            },
+        );
+        for (b, s) in base.responses.iter().zip(&shifted.responses) {
+            assert_eq!(s.latency_ns, b.latency_ns + 1_000);
+            assert_eq!(s.bytes, b.bytes, "overhead must not change the payload");
+        }
+        // Overhead above the whole budget closes the admission gate.
+        let shed = serve(
+            &p.index,
+            &cluster,
+            p.config().aggregation,
+            &queries,
+            &ServeConfig {
+                deadline_ms: Some(1),
+                overhead_ns: 2_000_000,
+                ..ServeConfig::default()
+            },
+        );
+        assert!(shed.report.counters_consistent());
+        assert_eq!(shed.report.shed_admission, queries.len() as u64);
     }
 
     #[test]

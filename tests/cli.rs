@@ -665,3 +665,132 @@ fn workload_saves_readable_query_log() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The pinned `live` replay scenario: a placement solved for the warm
+/// ("January") workload, a regime shift applied before epoch 1, then a
+/// stationary replay. The controller must stage a migration, pace it
+/// under the per-epoch byte budget, and the post-migration window must
+/// ship strictly fewer bytes per query — the tentpole headline, driven
+/// end to end through the binary.
+const LIVE_REPLAY: [&str; 19] = [
+    "live", "--preset", "tiny", "--nodes", "4", "--seed", "42",
+    "--epochs", "80", "--queries-per-epoch", "256",
+    "--drift-sigma", "0.25", "--drift-epochs", "0",
+    "--warm-drift", "24", "--migration-budget", "4096",
+];
+
+#[test]
+fn live_replay_migrates_under_budget_and_improves() {
+    let (code, stdout, stderr) = run_code(&LIVE_REPLAY);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.starts_with("# cca-live-report v1"), "stdout: {stdout}");
+    let report = cca::algo::read_live_report(stdout.as_bytes()).expect("parseable report");
+    assert!(report.counters_consistent(), "counters: {stdout}");
+    assert!(report.migrations >= 1, "the regime shift must trigger a migration: {stdout}");
+    assert!(report.within_budget(), "pacing contract: {stdout}");
+    assert!(
+        report.improved(),
+        "post-migration bytes/query must beat pre-migration: {stdout}"
+    );
+    assert!(stderr.contains("pre-migration ->"), "stderr summary: {stderr}");
+}
+
+/// `live` follows the same exit taxonomy as `serve`: 2 when any query
+/// was degraded or shed (here: a zero deadline sheds everything at
+/// admission, still fully accounted), 3 when the placement is
+/// infeasible.
+#[test]
+fn live_exit_taxonomy() {
+    let base = [
+        "live", "--preset", "tiny", "--nodes", "4", "--seed", "42",
+        "--epochs", "10", "--queries-per-epoch", "64",
+    ];
+    let mut args = base.to_vec();
+    args.extend(["--deadline-ms", "0"]);
+    let (code, stdout, stderr) = run_code(&args);
+    assert_eq!(code, 2, "stdout: {stdout}\nstderr: {stderr}");
+    let report = cca::algo::read_live_report(stdout.as_bytes()).expect("parseable report");
+    assert_eq!(report.served, 0, "zero deadline must shed everything");
+    assert_eq!(report.shed_admission, report.queries);
+    assert!(report.counters_consistent());
+
+    let mut args = base.to_vec();
+    args.extend(["--capacity-factor", "0.4"]);
+    let (code, _, stderr) = run_code(&args);
+    assert_eq!(code, 3, "stderr: {stderr}");
+}
+
+/// The live report is byte-identical across thread, shard, and inflight
+/// counts — the §14 determinism contract surfaced through the CLI, with
+/// migration slices interleaved mid-run.
+#[test]
+fn live_report_is_byte_identical_across_threads_shards_inflight() {
+    let reference = {
+        let mut args: Vec<&str> = LIVE_REPLAY.to_vec();
+        args.extend(["--threads", "1", "--inflight", "1"]);
+        run_code(&args)
+    };
+    assert!(
+        reference.1.starts_with("# cca-live-report v1"),
+        "reference run: {}",
+        reference.1
+    );
+    for threads in ["2", "8"] {
+        for shards in ["1", "2", "7"] {
+            for inflight in ["1", "64"] {
+                let mut args: Vec<&str> = LIVE_REPLAY.to_vec();
+                args.extend([
+                    "--threads", threads, "--shards", shards, "--inflight", inflight,
+                ]);
+                let (code, stdout, stderr) = run_code(&args);
+                assert_eq!(
+                    code, reference.0,
+                    "threads {threads} shards {shards} inflight {inflight}: {stderr}"
+                );
+                assert_eq!(
+                    stdout, reference.1,
+                    "threads {threads} shards {shards} inflight {inflight} changed the report"
+                );
+            }
+        }
+    }
+}
+
+/// `live --out` persists exactly the bytes printed to stdout, and the
+/// file round-trips through the live-report reader.
+#[test]
+fn live_saves_readable_report() {
+    let dir = std::env::temp_dir().join(format!("cca-cli-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("live.tsv");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    let mut args: Vec<&str> = LIVE_REPLAY.to_vec();
+    args.extend(["--out", path_str]);
+    let (code, stdout, stderr) = run_code(&args);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let saved = std::fs::read_to_string(&path).expect("report written");
+    assert_eq!(saved, stdout, "--out and stdout disagree");
+    let report = cca::algo::read_live_report(saved.as_bytes()).expect("parseable report");
+    assert_eq!(report.epochs, 80);
+    assert!(report.counters_consistent());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The live-only flags reject malformed input through the same uniform
+/// usage errors as the rest of the surface.
+#[test]
+fn live_flags_reject_bad_input() {
+    let (code, _, stderr) = run_code(&["live", "--preset", "tiny", "--migration-budget", "0"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--migration-budget must be at least 1"), "stderr: {stderr}");
+
+    let (code, _, stderr) = run_code(&["live", "--preset", "tiny", "--drift-epochs", "soon"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--drift-epochs"), "stderr: {stderr}");
+
+    let (code, _, stderr) = run_code(&["live", "--preset", "tiny", "--warm-drift", "soon"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--warm-drift"), "stderr: {stderr}");
+}

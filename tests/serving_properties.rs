@@ -174,6 +174,7 @@ fn batched_admission_matches_serial_execution() {
                             threads,
                             deadline_ms: c.deadline_ms(),
                             burst: None,
+                            overhead_ns: 0,
                         },
                     );
                     prop_assert!(
@@ -231,6 +232,7 @@ fn serving_report_is_byte_identical_across_the_matrix() {
                         threads,
                         deadline_ms: Some(1),
                         burst: None,
+                        overhead_ns: 0,
                     },
                 );
                 let text = cca::algo::format_serving_report(&out.report);
@@ -263,6 +265,7 @@ fn overload_sheds_loudly_never_silently() {
             ..ServeConfig::default()
         }
         .queue_capacity()),
+        overhead_ns: 0,
     };
     let offered = config.burst.unwrap();
     let queries = stream(&p, 77, offered);
@@ -308,6 +311,7 @@ fn trickle_burst_accounts_exactly() {
             threads: 1,
             deadline_ms: None,
             burst: Some(3),
+            overhead_ns: 0,
         },
     );
     assert!(out.report.counters_consistent());
@@ -338,6 +342,7 @@ fn golden_serving_report_round_trips() {
             threads: 2,
             deadline_ms: Some(1),
             burst: None,
+            overhead_ns: 0,
         },
     );
     let text = cca::algo::format_serving_report(&out.report);
