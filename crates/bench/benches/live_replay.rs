@@ -71,6 +71,8 @@ fn live_config(epochs: u64, inflight: usize, threads: usize, shards: usize) -> L
         threads,
         deadline_ms: None,
         migration_budget: MIGRATION_BUDGET,
+        replicas: 1,
+        domains: None,
         controller: ControllerConfig {
             threads,
             shards,

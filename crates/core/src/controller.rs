@@ -46,6 +46,7 @@ use crate::migrate::{
 };
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
+use crate::replica::DomainTree;
 use crate::resilience::{
     solve_resilient, survive_node_loss, FaultPlan, ResilienceOptions, Rung, SolveBudget,
 };
@@ -121,6 +122,12 @@ pub struct ControllerConfig {
     /// contract, DESIGN.md §14). `None` (the default) keeps the
     /// immediate bulk apply.
     pub migration_budget_per_epoch: Option<u64>,
+    /// When set, the robustness gate probes the loss of the
+    /// heaviest-loaded surviving **leaf domain** of this tree instead of
+    /// the heaviest single node (DESIGN.md §15). A flat tree — every
+    /// node its own domain — selects the same probe node as `None`, so
+    /// the default behaviour is unchanged.
+    pub domains: Option<DomainTree>,
 }
 
 impl Default for ControllerConfig {
@@ -142,6 +149,7 @@ impl Default for ControllerConfig {
             backoff_epochs: 16,
             max_repair_retries: 3,
             migration_budget_per_epoch: None,
+            domains: None,
         }
     }
 }
@@ -782,7 +790,10 @@ impl Controller {
             }
         }
         let mut ranked: Vec<(u32, f64)> = incident.into_iter().collect();
-        ranked.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
+        // `total_cmp`, not `partial_cmp(..).unwrap()`: the weights are
+        // non-negative finite sums so the order is unchanged, and a NaN
+        // benefit estimate can no longer panic the controller mid-run.
+        ranked.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         ranked.truncate(self.config.scope_top);
         let mut keep: Vec<ObjectId> = ranked.into_iter().map(|(o, _)| ObjectId(o)).collect();
         keep.sort_unstable();
@@ -915,23 +926,65 @@ impl Controller {
     }
 
     /// The robustness gate: the candidate must fit the surviving
-    /// capacities outright, and — when at least two nodes survive — a
-    /// [`survive_node_loss`] probe dropping the heaviest-loaded surviving
-    /// node must repair back to feasibility under the configured slack.
+    /// capacities outright, and — when at least two nodes (or, with a
+    /// [`ControllerConfig::domains`] tree, two alive leaf domains)
+    /// survive — a [`survive_node_loss`] probe dropping the
+    /// heaviest-loaded surviving node (or every alive node of the
+    /// heaviest-loaded surviving domain) must repair back to feasibility
+    /// under the configured slack. A flat tree selects exactly the
+    /// single-node probe, so `domains: None` and `domains: Some(flat)`
+    /// gate identically.
     fn candidate_is_robust(&self, est: &CcaProblem, candidate: &Placement) -> bool {
         if !candidate.within_all_capacities(est, self.config.capacity_slack) {
             return false;
         }
         let loads = candidate.loads(est);
-        let probe = (0..loads.len())
-            .filter(|&k| !self.dead[k])
-            .max_by(|&a, &b| loads[a].cmp(&loads[b]).then(b.cmp(&a)));
-        let Some(probe) = probe else { return false };
-        if self.dead.iter().filter(|&&d| !d).count() <= 1 {
-            return true; // no second node to lose
-        }
+        let probe_nodes: Vec<usize> = match &self.config.domains {
+            None => {
+                let probe = (0..loads.len())
+                    .filter(|&k| !self.dead[k])
+                    .max_by(|&a, &b| loads[a].cmp(&loads[b]).then(b.cmp(&a)));
+                let Some(probe) = probe else { return false };
+                if self.dead.iter().filter(|&&d| !d).count() <= 1 {
+                    return true; // no second node to lose
+                }
+                vec![probe]
+            }
+            Some(tree) => {
+                // Heaviest-loaded surviving domain, summing alive
+                // members; ties toward the smaller domain id (matches
+                // the single-node rule under the flat tree).
+                let alive_load = |d: usize| -> Option<u64> {
+                    let alive: Vec<&usize> = tree
+                        .nodes_in(d)
+                        .iter()
+                        .filter(|&&n| !self.dead[n])
+                        .collect();
+                    if alive.is_empty() {
+                        None
+                    } else {
+                        Some(alive.iter().map(|&&n| loads[n]).sum())
+                    }
+                };
+                let probe = (0..tree.num_domains())
+                    .filter_map(|d| alive_load(d).map(|l| (d, l)))
+                    .max_by(|&(da, la), &(db, lb)| la.cmp(&lb).then(db.cmp(&da)));
+                let Some((probe, _)) = probe else { return false };
+                let alive_domains = (0..tree.num_domains())
+                    .filter(|&d| alive_load(d).is_some())
+                    .count();
+                if alive_domains <= 1 {
+                    return true; // no second domain to lose
+                }
+                tree.nodes_in(probe)
+                    .iter()
+                    .copied()
+                    .filter(|&n| !self.dead[n])
+                    .collect()
+            }
+        };
         let (degraded, repaired, _info) =
-            survive_node_loss(est, candidate, &[probe], self.config.capacity_slack);
+            survive_node_loss(est, candidate, &probe_nodes, self.config.capacity_slack);
         repaired.within_all_capacities(&degraded, self.config.capacity_slack)
     }
 }

@@ -31,6 +31,7 @@
 
 use crate::placement::Placement;
 use crate::problem::{ObjectId, Pair, ProblemError};
+use crate::replica::ReplicaPlacement;
 
 /// Identifier of an edge: the index of its [`Pair`] in
 /// [`crate::CcaProblem::pairs`] — this back-map is a stable, documented
@@ -912,6 +913,98 @@ impl CorrelationGraph {
             sum
         });
         partials.into_iter().sum()
+    }
+
+    // -- Replica-aware evaluation ------------------------------------------
+
+    /// The replica-aware CCA objective: edge `(a, b)` pays `r·w` iff **no**
+    /// replica pair of `a` and `b` colocates (the min-over-replica-choices
+    /// read cost; see [`ReplicaPlacement::split`]). Summed over edges in
+    /// [`EdgeId`] order with `sum`'s `-0.0` identity — the same fold as
+    /// [`CorrelationGraph::cost`], so with `r = 1` the result is
+    /// **bit-identical** to `cost(rp.primary())` (the split predicate
+    /// degenerates to `node_of(a) != node_of(b)` and the fold order is
+    /// unchanged; the `r = 1` fast path below makes that structural).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer objects than the graph.
+    #[must_use]
+    pub fn cost_replicas(&self, rp: &ReplicaPlacement) -> f64 {
+        if rp.replicas() == 1 {
+            return self.cost(rp.primary());
+        }
+        self.edge_a
+            .iter()
+            .zip(&self.edge_b)
+            .zip(&self.edge_weight)
+            .filter(|&((&a, &b), _)| rp.split(a, b))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// [`CorrelationGraph::cost_replicas`] for a batch of candidates, in
+    /// slice order. All-`r = 1` batches route through the interleaved
+    /// [`CorrelationGraph::cost_batch`] kernel on the primary columns
+    /// (bit-identical per its contract); mixed/replicated batches fall
+    /// back to the serial replica fold per candidate.
+    #[must_use]
+    pub fn cost_replica_batch(&self, candidates: &[&ReplicaPlacement]) -> Vec<f64> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        if candidates.iter().all(|rp| rp.replicas() == 1) {
+            let primaries: Vec<Placement> =
+                candidates.iter().map(|rp| rp.primary().clone()).collect();
+            return self.cost_batch(&PlacementBatch::from_placements(&primaries));
+        }
+        candidates.iter().map(|rp| self.cost_replicas(rp)).collect()
+    }
+
+    /// Communication-cost change of moving **replica `j`** of object `i`
+    /// to `target`, in one O(deg·r) walk of `i`'s CSR row: each adjacent
+    /// edge contributes `+w` when the move newly splits it and `−w` when
+    /// it newly joins it, accumulated in row order.
+    ///
+    /// With `r = 1` this adds/subtracts exactly the weights
+    /// [`CorrelationGraph::move_delta`] does, in the same order, so the
+    /// result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i`, `j`, or `target` is out of range.
+    #[must_use]
+    pub fn replica_move_delta(
+        &self,
+        rp: &ReplicaPlacement,
+        i: ObjectId,
+        j: usize,
+        target: usize,
+    ) -> f64 {
+        let src = rp.node_of(i, j);
+        if src == target {
+            return 0.0;
+        }
+        let r = rp.replicas();
+        // `other` colocates with a replica of `i` after the move iff it
+        // shares a node with any replica k ≠ j, or with `target`.
+        let joined_after = |other: ObjectId| -> bool {
+            (0..r).any(|k| {
+                let n = if k == j { target } else { rp.node_of(i, k) };
+                rp.colocated(other, n)
+            })
+        };
+        let mut delta = 0.0;
+        for (other, w) in self.neighbors(i) {
+            let was_split = rp.split(i, other);
+            let now_split = !joined_after(other);
+            match (was_split, now_split) {
+                (false, true) => delta += w,
+                (true, false) => delta -= w,
+                _ => {}
+            }
+        }
+        delta
     }
 }
 

@@ -73,6 +73,7 @@ pub mod placement;
 pub mod problem;
 pub mod random;
 pub mod relax;
+pub mod replica;
 pub mod repair;
 pub mod resilience;
 pub mod resources;
@@ -93,26 +94,30 @@ pub use fractional::FractionalPlacement;
 pub use graph::{CorrelationGraph, Edge, EdgeId, IncrementalCost, PlacementBatch};
 pub use greedy::greedy_placement;
 pub use migrate::{
-    drain_node, improve_in_place, migration_bytes, reconcile, MigrateOptions, MigrationOutcome,
-    MigrationSchedule, MigrationSlice,
+    drain_node, improve_in_place, improve_replicas_in_place, migration_bytes, reconcile,
+    replica_migration_bytes, MigrateOptions, MigrationOutcome, MigrationSchedule, MigrationSlice,
+    ReplicaMigrationOutcome,
 };
 pub use persist::{
-    format_controller_report, format_live_report, format_placement, format_serving_report,
-    read_controller_report, read_live_report, read_placement, read_serving_report,
-    write_controller_report, write_live_report, write_placement, write_serving_report,
+    format_controller_report, format_live_report, format_placement, format_replica_placement,
+    format_serving_report, read_controller_report, read_live_report, read_placement,
+    read_replica_placement, read_serving_report, write_controller_report, write_live_report,
+    write_placement, write_replica_placement, write_serving_report,
 };
 pub use placement::Placement;
 pub use problem::{CcaProblem, CcaProblemBuilder, ObjectId, Pair, ProblemError};
 pub use random::random_hash_placement;
+pub use replica::{spread_copies, validate_replica_spec, DomainTree, ReplicaPlacement};
 pub use relax::{
     construct_clustered_vertex, construct_optimal_vertex, solve_relaxation, RelaxMethod, RelaxOptions, RelaxOutcome,
     StopReason,
 };
-pub use repair::{repair_capacity, RepairOutcome};
+pub use repair::{repair_capacity, repair_replica_spread, RepairOutcome, ReplicaRepairOutcome};
 pub use resilience::{
-    solve_resilient, solve_resilient_with_faults, survive_node_loss, DegradationReport, FaultPlan,
-    NodeLossReport, ResilienceOptions, ResilientPlacement, Rung, RungAttempt, RungOutcome,
-    SolveBudget, LADDER,
+    solve_resilient, solve_resilient_replicated, solve_resilient_with_faults, survive_domain_loss,
+    survive_node_loss, DegradationReport, DomainLossReport, FaultPlan, NodeLossReport,
+    ResilienceOptions, ResilientPlacement, ResilientReplicaPlacement, Rung, RungAttempt,
+    RungOutcome, SolveBudget, LADDER,
 };
 pub use resources::{Resource, ResourceError};
 pub use error::{CcaError, PlaceError};

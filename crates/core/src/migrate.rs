@@ -18,6 +18,7 @@
 use crate::graph::IncrementalCost;
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
+use crate::replica::{DomainTree, ReplicaPlacement};
 
 /// Options for [`reconcile`] and [`improve_in_place`].
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +91,123 @@ pub fn migration_bytes(problem: &CcaProblem, from: &Placement, to: &Placement) -
         .filter(|&o| from.node_of(o) != to.node_of(o))
         .map(|o| problem.size(o))
         .sum()
+}
+
+/// Per-replica [`migration_bytes`]: the bytes moved when switching from
+/// one replica placement to another, summing every copy whose home node
+/// changed (column `j` of `from` against column `j` of `to`). With
+/// `r = 1` this equals `migration_bytes` on the primary columns.
+///
+/// # Panics
+///
+/// Panics if the placements disagree on replica count or dimensions.
+#[must_use]
+pub fn replica_migration_bytes(
+    problem: &CcaProblem,
+    from: &ReplicaPlacement,
+    to: &ReplicaPlacement,
+) -> u64 {
+    assert_eq!(
+        from.replicas(),
+        to.replicas(),
+        "replica counts must match to diff placements"
+    );
+    from.columns()
+        .iter()
+        .zip(to.columns())
+        .map(|(f, t)| migration_bytes(problem, f, t))
+        .sum()
+}
+
+/// Outcome of a replica-aware migration pass.
+#[derive(Debug, Clone)]
+pub struct ReplicaMigrationOutcome {
+    /// The resulting replica placement.
+    pub replica: ReplicaPlacement,
+    /// Its replica-aware communication cost
+    /// ([`crate::graph::CorrelationGraph::cost_replicas`]).
+    pub comm_cost: f64,
+    /// Total bytes moved relative to the starting placement.
+    pub migrated_bytes: u64,
+    /// Number of copies moved.
+    pub moves: usize,
+}
+
+/// Replica-aware [`improve_in_place`]: greedy per-copy local search where
+/// every candidate target must (a) keep the spread invariant — the
+/// target's leaf domain holds no *other* copy of the object — and (b)
+/// fit the node's copy-inclusive storage load under
+/// `capacity · capacity_slack`. Copies are visited object-major in
+/// ascending id order, replica index ascending (primary first), targets
+/// in ascending node order with a strict-improvement `<` selection, so
+/// the walk is deterministic. Deltas come from
+/// [`crate::problem::CcaProblem::eval_replica_move_delta`]
+/// (min-over-replica-choices split test).
+///
+/// # Panics
+///
+/// Panics if the tree and placement disagree on node count.
+#[must_use]
+pub fn improve_replicas_in_place(
+    problem: &CcaProblem,
+    tree: &DomainTree,
+    current: &ReplicaPlacement,
+    options: &MigrateOptions,
+) -> ReplicaMigrationOutcome {
+    assert_eq!(tree.num_nodes(), current.num_nodes());
+    let mut rp = current.clone();
+    let r = rp.replicas();
+    let n = problem.num_nodes();
+    let mut loads = rp.replica_loads(problem);
+    let mut moves = 0usize;
+    let mut migrated = 0u64;
+    for _ in 0..options.max_sweeps.max(1) {
+        let mut improved = false;
+        for o in problem.objects() {
+            let size = problem.size(o);
+            let price = options.migration_price_per_byte * size as f64;
+            for j in 0..r {
+                let src = rp.node_of(o, j);
+                let used: Vec<usize> = (0..r)
+                    .filter(|&k| k != j)
+                    .map(|k| tree.domain_of(rp.node_of(o, k)))
+                    .collect();
+                let mut best: Option<(f64, usize)> = None;
+                for k in 0..n {
+                    if k == src || used.contains(&tree.domain_of(k)) {
+                        continue;
+                    }
+                    let fits = (loads[k] + size) as f64
+                        <= problem.capacity(k) as f64 * options.capacity_slack;
+                    if !fits {
+                        continue;
+                    }
+                    let delta = problem.eval_replica_move_delta(&rp, o, j, k);
+                    if delta + price < -1e-12 && best.is_none_or(|(bd, _)| delta < bd) {
+                        best = Some((delta, k));
+                    }
+                }
+                if let Some((_, k)) = best {
+                    loads[src] -= size;
+                    loads[k] += size;
+                    rp.assign(o, j, k);
+                    migrated += size;
+                    moves += 1;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let comm_cost = problem.eval_cost_replicas(&rp, 1);
+    ReplicaMigrationOutcome {
+        replica: rp,
+        comm_cost,
+        migrated_bytes: migrated,
+        moves,
+    }
 }
 
 /// Tracks per-node, per-dimension loads for incremental feasibility

@@ -30,6 +30,7 @@
 use crate::controller::ControllerReport;
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
+use crate::replica::ReplicaPlacement;
 use crate::serving::{LatencyHistogram, LiveReport, ServingReport, NUM_BUCKETS};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -195,6 +196,164 @@ pub fn read_placement<R: Read>(
         });
     }
     Ok(Placement::new(assignment, nodes))
+}
+
+/// Serialises a replica placement. With `r = 1` this is **byte-identical**
+/// to [`format_placement`] on the primary column (the `v1` format); with
+/// `r > 1` the header becomes `# cca-placement v2 … replicas=r` and every
+/// line carries `r` tab-separated nodes (primary first).
+///
+/// # Panics
+///
+/// Panics if the dimensions disagree.
+#[must_use]
+pub fn format_replica_placement(problem: &CcaProblem, rp: &ReplicaPlacement) -> String {
+    if rp.replicas() == 1 {
+        return format_placement(problem, rp.primary());
+    }
+    assert_eq!(rp.num_objects(), problem.num_objects());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# cca-placement v2 nodes={} objects={} replicas={}",
+        rp.num_nodes(),
+        rp.num_objects(),
+        rp.replicas()
+    );
+    for o in problem.objects() {
+        let _ = write!(out, "{}", problem.name(o));
+        for j in 0..rp.replicas() {
+            let _ = write!(out, "\t{}", rp.node_of(o, j));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a replica placement (`v1` framing for `r = 1`, `v2` otherwise).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_replica_placement<W: Write>(
+    mut writer: W,
+    problem: &CcaProblem,
+    rp: &ReplicaPlacement,
+) -> Result<(), PersistError> {
+    writer.write_all(format_replica_placement(problem, rp).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a placement in either framing: a `v1` file loads as an `r = 1`
+/// replica placement (exactly [`read_placement`]), a `v2` file loads all
+/// `r` columns and matches objects by name.
+///
+/// # Errors
+///
+/// Fails on malformed input, unknown/missing/duplicate object names, or
+/// nodes out of range.
+pub fn read_replica_placement<R: Read>(
+    mut reader: R,
+    problem: &CcaProblem,
+) -> Result<ReplicaPlacement, PersistError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    if !text.starts_with("# cca-placement v2 ") {
+        return Ok(ReplicaPlacement::from_primary(read_placement(
+            text.as_bytes(),
+            problem,
+        )?));
+    }
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or_default();
+    let parse_field = |key: &str| -> Result<usize, PersistError> {
+        header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .ok_or(PersistError::Format {
+                line: 1,
+                message: format!("bad {key} field in header {header:?}"),
+            })
+    };
+    let nodes = parse_field("nodes=")?;
+    let replicas = parse_field("replicas=")?;
+    if replicas == 0 || nodes == 0 {
+        return Err(PersistError::Format {
+            line: 1,
+            message: format!("degenerate header {header:?}"),
+        });
+    }
+    let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(problem.num_objects());
+    for o in problem.objects() {
+        if by_name.insert(problem.name(o), o.index()).is_some() {
+            return Err(PersistError::Format {
+                line: 0,
+                message: format!(
+                    "problem has duplicate object name {:?}; name-keyed loading is ambiguous",
+                    problem.name(o)
+                ),
+            });
+        }
+    }
+    let mut columns = vec![vec![u32::MAX; problem.num_objects()]; replicas];
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let name = fields.next().unwrap_or_default();
+        let &idx = by_name.get(name).ok_or(PersistError::Format {
+            line: line_no,
+            message: format!("unknown object {name:?}"),
+        })?;
+        if columns[0][idx] != u32::MAX {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("object {name:?} assigned twice"),
+            });
+        }
+        for column in columns.iter_mut() {
+            let node_str = fields.next().ok_or(PersistError::Format {
+                line: line_no,
+                message: format!("expected {replicas} replica nodes"),
+            })?;
+            let node: usize = node_str.trim().parse().map_err(|_| PersistError::Format {
+                line: line_no,
+                message: format!("invalid node {node_str:?}"),
+            })?;
+            if node >= nodes {
+                return Err(PersistError::Format {
+                    line: line_no,
+                    message: format!("node {node} out of range (< {nodes})"),
+                });
+            }
+            column[idx] = node as u32;
+        }
+        if fields.next().is_some() {
+            return Err(PersistError::Format {
+                line: line_no,
+                message: format!("more than {replicas} replica nodes"),
+            });
+        }
+    }
+    if let Some(missing) = columns[0].iter().position(|&a| a == u32::MAX) {
+        return Err(PersistError::Format {
+            line: 0,
+            message: format!(
+                "object {:?} has no assignment",
+                problem.name(crate::problem::ObjectId(missing as u32))
+            ),
+        });
+    }
+    Ok(ReplicaPlacement::from_columns(
+        columns
+            .into_iter()
+            .map(|assignment| Placement::new(assignment, nodes))
+            .collect(),
+    ))
 }
 
 // ---------------------------------------------------------------------------

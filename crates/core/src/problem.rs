@@ -2,6 +2,7 @@
 
 use crate::graph::{CorrelationGraph, PlacementBatch};
 use crate::placement::Placement;
+use crate::replica::ReplicaPlacement;
 use crate::resources::{Resource, ResourceError};
 use crate::shard::ShardedGraph;
 use std::collections::{HashMap, HashSet};
@@ -84,6 +85,15 @@ pub enum ProblemError {
         /// Pair count of the rejected instance.
         pairs: usize,
     },
+    /// A replica spec asks for more copies per object than the domain
+    /// tree has leaf domains, so the spread invariant (no two replicas
+    /// of an object in the same leaf domain) can never hold.
+    ReplicaSpread {
+        /// Requested copies per object.
+        replicas: usize,
+        /// Leaf domains available in the tree.
+        domains: usize,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -105,6 +115,11 @@ impl fmt::Display for ProblemError {
                  {objects} objects (limits: {} pairs, {} objects)",
                 u32::MAX / 2,
                 u32::MAX
+            ),
+            ProblemError::ReplicaSpread { replicas, domains } => write!(
+                f,
+                "cannot spread {replicas} replicas across {domains} leaf \
+                 domains (need replicas <= domains)"
             ),
         }
     }
@@ -310,6 +325,43 @@ impl CcaProblem {
         match &self.sharded {
             Some(s) => s.move_delta_batch(placement, i, targets),
             None => self.graph.move_delta_batch(placement, i, targets),
+        }
+    }
+
+    /// Replica-aware cost via the sharded view when enabled
+    /// ([`ShardedGraph::cost_replicas`]), else the flat replica fold
+    /// ([`CorrelationGraph::cost_replicas`]). With `r = 1` both sides
+    /// fast-path to their single-copy walks, so this is bit-identical to
+    /// [`CcaProblem::eval_cost`] on the primary column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer objects than the problem.
+    #[must_use]
+    pub fn eval_cost_replicas(&self, rp: &ReplicaPlacement, threads: usize) -> f64 {
+        match &self.sharded {
+            Some(s) => s.cost_replicas(rp, threads),
+            None => self.graph.cost_replicas(rp),
+        }
+    }
+
+    /// Replica-aware move delta via the sharded view when enabled
+    /// (bit-identical for any shard count), else the flat row walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i`, `j`, or `target` is out of range.
+    #[must_use]
+    pub fn eval_replica_move_delta(
+        &self,
+        rp: &ReplicaPlacement,
+        i: ObjectId,
+        j: usize,
+        target: usize,
+    ) -> f64 {
+        match &self.sharded {
+            Some(s) => s.replica_move_delta(rp, i, j, target),
+            None => self.graph.replica_move_delta(rp, i, j, target),
         }
     }
 

@@ -28,6 +28,7 @@
 use crate::graph::CorrelationGraph;
 use crate::placement::Placement;
 use crate::problem::{CcaProblem, ObjectId};
+use crate::replica::{respread_dead, DomainTree, ReplicaPlacement};
 use std::collections::HashMap;
 
 /// Outcome of [`repair_capacity`].
@@ -328,6 +329,61 @@ pub fn repair_capacity_with(
     RepairOutcome {
         moves: repairer.moves,
         feasible,
+    }
+}
+
+/// Outcome of [`repair_replica_spread`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaRepairOutcome {
+    /// Number of copies re-placed off dead nodes.
+    pub moves: usize,
+    /// Bytes moved (one object size per re-placed copy).
+    pub migrated_bytes: u64,
+    /// Whether the repaired placement satisfies the spread invariant (it
+    /// can only be `false` when fewer alive leaf domains remain than
+    /// replicas — the re-spread then degrades to best-effort).
+    pub spread_valid: bool,
+}
+
+/// Re-spreads a replica placement after node or whole-domain loss: every
+/// copy on a node in `dead_nodes` is re-placed onto an alive node whose
+/// leaf domain holds no surviving copy of the object, by the
+/// deterministic copy-target rule of [`crate::replica`] (fresh zone,
+/// then fitting under `capacity · slack`, then lightest copy-inclusive
+/// load, then lowest node id). Objects are visited in ascending id
+/// order, replicas in ascending index order — reproducible across
+/// threads and shards.
+///
+/// This is the replica analogue of zero-capacity +
+/// [`repair_capacity`] in [`crate::resilience::survive_node_loss`]; it
+/// restores the spread invariant whenever enough alive leaf domains
+/// remain.
+///
+/// # Panics
+///
+/// Panics if a dead node id is out of range or the tree and placement
+/// disagree on node count.
+pub fn repair_replica_spread(
+    problem: &CcaProblem,
+    tree: &DomainTree,
+    rp: &mut ReplicaPlacement,
+    dead_nodes: &[usize],
+    slack: f64,
+) -> ReplicaRepairOutcome {
+    assert_eq!(
+        tree.num_nodes(),
+        rp.num_nodes(),
+        "domain tree and placement disagree on node count"
+    );
+    let mut dead = vec![false; rp.num_nodes()];
+    for &n in dead_nodes {
+        dead[n] = true;
+    }
+    let (moves, migrated_bytes) = respread_dead(problem, tree, rp, &dead, slack);
+    ReplicaRepairOutcome {
+        moves,
+        migrated_bytes,
+        spread_valid: rp.spread_valid(tree),
     }
 }
 

@@ -31,12 +31,17 @@ use crate::audit::{audit_placement, PlacementAudit};
 use crate::error::CcaError;
 use crate::graph::PlacementBatch;
 use crate::greedy::greedy_placement;
-use crate::migrate::{improve_in_place, migration_bytes, MigrateOptions};
+use crate::migrate::{
+    improve_in_place, improve_replicas_in_place, migration_bytes, replica_migration_bytes,
+    MigrateOptions,
+};
 use crate::placement::Placement;
 use crate::problem::CcaProblem;
+use crate::problem::ProblemError;
 use crate::random::random_hash_placement;
 use crate::relax::RelaxMethod;
-use crate::repair::repair_capacity;
+use crate::repair::{repair_capacity, repair_replica_spread};
+use crate::replica::{spread_copies, validate_replica_spec, DomainTree, ReplicaPlacement};
 use crate::solver::{place, place_partial_with, LprrOptions, Strategy};
 use cca_par::{par_map_indexed, DeadlineGate};
 use cca_rand::rngs::StdRng;
@@ -700,6 +705,158 @@ pub fn survive_node_loss(
             .count(),
     };
     (degraded, replaced, report)
+}
+
+/// What happened when a whole failure domain died
+/// ([`survive_domain_loss`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainLossReport {
+    /// The killed leaf domain.
+    pub domain: usize,
+    /// Its member nodes (every one dropped), ascending.
+    pub dropped_nodes: Vec<usize>,
+    /// Bytes moved relative to the pre-loss replica placement, summed
+    /// over every re-placed copy.
+    pub migrated_bytes: u64,
+    /// Copies moved relative to the pre-loss replica placement.
+    pub moves: usize,
+    /// Whether the repaired placement satisfies the spread invariant
+    /// (`false` only when fewer alive leaf domains remain than replicas).
+    pub spread_valid: bool,
+}
+
+/// The domain-level generalization of [`survive_node_loss`]: kills every
+/// node of leaf `domain` (capacity → 0), re-spreads the orphaned copies
+/// onto alive domains ([`repair_replica_spread`]), then polishes with
+/// the replica-aware local search under the degraded capacities.
+///
+/// Under the flat tree a domain is a single node, so this is node loss
+/// with the per-copy repair rule; the read path keeps serving throughout
+/// because every object retains `r − 1` live copies until repair lands.
+///
+/// # Panics
+///
+/// Panics if `domain` is out of range or the tree and placement disagree
+/// on node count.
+#[must_use]
+pub fn survive_domain_loss(
+    problem: &CcaProblem,
+    tree: &DomainTree,
+    rp: &ReplicaPlacement,
+    domain: usize,
+    capacity_slack: f64,
+) -> (CcaProblem, ReplicaPlacement, DomainLossReport) {
+    let slack = capacity_slack.max(1.0);
+    let dead_nodes: Vec<usize> = tree.nodes_in(domain).to_vec();
+    let capacities: Vec<u64> = (0..problem.num_nodes())
+        .map(|k| {
+            if dead_nodes.contains(&k) {
+                0
+            } else {
+                problem.capacity(k)
+            }
+        })
+        .collect();
+    let degraded = problem.with_capacities(capacities);
+    let mut repaired = rp.clone();
+    let _ = repair_replica_spread(&degraded, tree, &mut repaired, &dead_nodes, slack);
+    let polished = improve_replicas_in_place(
+        &degraded,
+        tree,
+        &repaired,
+        &MigrateOptions {
+            capacity_slack: slack,
+            ..MigrateOptions::default()
+        },
+    );
+    let repaired = polished.replica;
+    let moves = problem
+        .objects()
+        .map(|o| {
+            (0..rp.replicas())
+                .filter(|&j| rp.node_of(o, j) != repaired.node_of(o, j))
+                .count()
+        })
+        .sum();
+    let report = DomainLossReport {
+        domain,
+        dropped_nodes: dead_nodes,
+        migrated_bytes: replica_migration_bytes(problem, rp, &repaired),
+        moves,
+        spread_valid: repaired.spread_valid(tree),
+    };
+    (degraded, repaired, report)
+}
+
+/// A resilient solve generalized to `r` copies per object.
+#[derive(Debug, Clone)]
+pub struct ResilientReplicaPlacement {
+    /// The replica placement (column 0 is the ladder's single-copy
+    /// answer, bit-for-bit).
+    pub replica: ReplicaPlacement,
+    /// Replica-aware communication cost on the effective problem
+    /// (min-over-replica-choices; equals `base.cost` when `r = 1`).
+    pub cost: f64,
+    /// The single-copy ladder outcome the primary column came from.
+    pub base: ResilientPlacement,
+    /// Whether the copies satisfy the spread invariant.
+    pub spread_valid: bool,
+}
+
+/// Replica-aware [`solve_resilient_with_faults`]: runs the existing
+/// degradation ladder unchanged for the primary column, then spreads
+/// `replicas − 1` extra copies across the leaf domains of `tree` by the
+/// deterministic copy rule of [`crate::replica`] (the greedy/hash rungs'
+/// copies land round-robin across domains via the load ranking), and
+/// polishes the copies with the spread-preserving local search.
+///
+/// With `replicas = 1` the ladder's placement is wrapped untouched and
+/// its cost/audit are returned as-is — the r=1 equivalence guarantee.
+///
+/// # Errors
+///
+/// [`validate_replica_spec`] failures (`replicas == 0`, or more replicas
+/// than leaf domains).
+pub fn solve_resilient_replicated(
+    problem: &CcaProblem,
+    options: &ResilienceOptions,
+    faults: &FaultPlan,
+    tree: &DomainTree,
+    replicas: usize,
+) -> Result<ResilientReplicaPlacement, ProblemError> {
+    validate_replica_spec(replicas, tree)?;
+    let base = solve_resilient_with_faults(problem, options, faults);
+    if replicas == 1 {
+        let replica = ReplicaPlacement::from_primary(base.placement.clone());
+        let cost = base.cost;
+        return Ok(ResilientReplicaPlacement {
+            replica,
+            cost,
+            base,
+            spread_valid: true,
+        });
+    }
+    let effective = &base.effective_problem;
+    // r copies store r× the bytes: scale the per-node storage budget so
+    // the spread rule can keep preferring fitting nodes.
+    let slack = replicas as f64;
+    let spread = spread_copies(effective, tree, base.placement.clone(), replicas, slack)?;
+    let polished = improve_replicas_in_place(
+        effective,
+        tree,
+        &spread,
+        &MigrateOptions {
+            capacity_slack: slack,
+            ..MigrateOptions::default()
+        },
+    );
+    let spread_valid = polished.replica.spread_valid(tree);
+    Ok(ResilientReplicaPlacement {
+        cost: polished.comm_cost,
+        replica: polished.replica,
+        base,
+        spread_valid,
+    })
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ use crate::graph::{
 };
 use crate::placement::Placement;
 use crate::problem::{ObjectId, Pair, ProblemError};
+use crate::replica::ReplicaPlacement;
 
 /// One contiguous row block of the sharded CSR plus the edge columns it
 /// owns (edges whose smaller endpoint lies in the block), both in the
@@ -350,6 +351,81 @@ impl ShardedGraph {
             }
         }
         deltas
+    }
+
+    /// Replica-aware cost (see
+    /// [`crate::graph::CorrelationGraph::cost_replicas`]): per-shard edge
+    /// folds with the min-over-replica-choices split test, partials
+    /// reduced in shard (index) order from the `-0.0` identity — the same
+    /// reduction shape as [`ShardedGraph::cost`], so the result is
+    /// identical for every `threads` value, and with `r = 1` it is
+    /// **bit-identical** to `cost(rp.primary(), threads)` (structural
+    /// fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement covers fewer objects than the graph.
+    #[must_use]
+    pub fn cost_replicas(&self, rp: &ReplicaPlacement, threads: usize) -> f64 {
+        if rp.replicas() == 1 {
+            return self.cost(rp.primary(), threads);
+        }
+        let partials = cca_par::par_map_indexed(threads, self.shards.len(), |s| {
+            let sh = &self.shards[s];
+            sh.edge_a
+                .iter()
+                .zip(&sh.edge_b)
+                .zip(&sh.edge_weight)
+                .filter(|&((&a, &b), _)| rp.split(a, b))
+                .map(|(_, &w)| w)
+                .sum::<f64>()
+        });
+        let mut total = -0.0;
+        for p in partials {
+            total += p;
+        }
+        total
+    }
+
+    /// Replica-aware move delta, walking the owning shard's row. The
+    /// shard row replicates the flat CSR row content and order exactly,
+    /// so this is **bit-identical** to
+    /// [`crate::graph::CorrelationGraph::replica_move_delta`] for any
+    /// shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i`, `j`, or `target` is out of range.
+    #[must_use]
+    pub fn replica_move_delta(
+        &self,
+        rp: &ReplicaPlacement,
+        i: ObjectId,
+        j: usize,
+        target: usize,
+    ) -> f64 {
+        let src = rp.node_of(i, j);
+        if src == target {
+            return 0.0;
+        }
+        let r = rp.replicas();
+        let joined_after = |other: ObjectId| -> bool {
+            (0..r).any(|k| {
+                let n = if k == j { target } else { rp.node_of(i, k) };
+                rp.colocated(other, n)
+            })
+        };
+        let mut delta = 0.0;
+        for (other, w) in self.shards[self.shard_of(i)].neighbors(i) {
+            let was_split = rp.split(i, other);
+            let now_split = !joined_after(other);
+            match (was_split, now_split) {
+                (false, true) => delta += w,
+                (true, false) => delta -= w,
+                _ => {}
+            }
+        }
+        delta
     }
 }
 

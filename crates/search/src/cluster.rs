@@ -10,9 +10,17 @@ use cca_trace::WordId;
 #[derive(Debug, Clone)]
 pub struct Cluster {
     num_nodes: usize,
-    /// `lookup[word id] = node`, `usize::MAX` for unplaced words.
+    /// `lookup[word id] = node`, `usize::MAX` for unplaced words. This is
+    /// always the **primary** copy, so every single-copy consumer keeps
+    /// its exact behaviour when extra replicas exist.
     lookup: Vec<usize>,
-    /// Bytes of index data stored per node.
+    /// Extra replica columns, flattened `[word id * (r-1) + (j-1)] = node`
+    /// (`usize::MAX` for unplaced). Empty when `replicas == 1` — the
+    /// common case costs nothing.
+    extra: Vec<usize>,
+    /// Copies per word (`>= 1`).
+    replicas: usize,
+    /// Bytes of index data stored per node (every copy counted).
     stored: Vec<u64>,
 }
 
@@ -29,6 +37,8 @@ impl Cluster {
         Cluster {
             num_nodes,
             lookup: vec![usize::MAX; universe],
+            extra: Vec::new(),
+            replicas: 1,
             stored: vec![0; num_nodes],
         }
     }
@@ -73,17 +83,103 @@ impl Cluster {
         self.stored[node] += bytes;
     }
 
+    /// Creates a cluster placing `r` copies of every indexed keyword:
+    /// `columns[j][word id] = node` for replica `j` (column 0 is the
+    /// primary and behaves exactly like [`Cluster::with_assignment`];
+    /// `usize::MAX` entries are skipped whole-word). Storage accounting
+    /// counts every copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty, a column is smaller than the index
+    /// universe, or a node is out of range.
+    #[must_use]
+    pub fn with_replica_assignment(
+        num_nodes: usize,
+        index: &InvertedIndex,
+        columns: &[Vec<usize>],
+    ) -> Self {
+        assert!(!columns.is_empty(), "need at least the primary column");
+        let mut cluster = Cluster::with_assignment(num_nodes, index, &columns[0]);
+        cluster.replicas = columns.len();
+        if columns.len() == 1 {
+            return cluster;
+        }
+        let extras = columns.len() - 1;
+        cluster.extra = vec![usize::MAX; index.universe() * extras];
+        for (j, column) in columns[1..].iter().enumerate() {
+            assert!(
+                column.len() >= index.universe(),
+                "replica column smaller than index universe"
+            );
+            for w in index.keywords() {
+                let node = column[w.index()];
+                if node == usize::MAX || columns[0][w.index()] == usize::MAX {
+                    continue;
+                }
+                assert!(node < num_nodes, "node {node} out of range");
+                cluster.extra[w.index() * extras + j] = node;
+                cluster.stored[node] += index.size_bytes(w);
+            }
+        }
+        cluster
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
     }
 
-    /// Node hosting keyword `w`, or `None` if unplaced.
+    /// Copies per word (`1` unless built by
+    /// [`Cluster::with_replica_assignment`]).
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Node hosting keyword `w`, or `None` if unplaced. With replicas
+    /// this is the **primary** copy — single-copy consumers are
+    /// unaffected by extra replicas.
     #[must_use]
     pub fn node_of(&self, w: WordId) -> Option<usize> {
         let n = self.lookup[w.index()];
         (n != usize::MAX).then_some(n)
+    }
+
+    /// Home nodes of keyword `w` in ascending replica-index order
+    /// (primary first), skipping unplaced copies. Replica scans in this
+    /// order are the documented tie-break of the read path: "first
+    /// colocated replica" always means the lowest replica index.
+    pub fn replica_nodes(&self, w: WordId) -> impl Iterator<Item = usize> + '_ {
+        let extras = self.replicas.saturating_sub(1);
+        let primary = self.lookup[w.index()];
+        let rest = if extras == 0 {
+            &[][..]
+        } else {
+            &self.extra[w.index() * extras..(w.index() + 1) * extras]
+        };
+        std::iter::once(primary)
+            .chain(rest.iter().copied())
+            .filter(|&n| n != usize::MAX)
+    }
+
+    /// `true` when some replica of `w` lives on `node`.
+    #[must_use]
+    pub fn hosts(&self, w: WordId, node: usize) -> bool {
+        self.replica_nodes(w).any(|n| n == node)
+    }
+
+    /// Cheapest source for shipping `w`'s posting to `to`: `to` itself
+    /// when a replica lives there (zero bytes on the wire), otherwise
+    /// the first (lowest-index, i.e. primary-first) placed replica — the
+    /// documented source tie-break. `None` if `w` is unplaced.
+    #[must_use]
+    pub fn cheapest_source(&self, w: WordId, to: usize) -> Option<usize> {
+        if self.hosts(w, to) {
+            return Some(to);
+        }
+        self.replica_nodes(w).next()
     }
 
     /// Bytes stored on `node`.

@@ -139,27 +139,106 @@ enum ProbeShape {
 }
 
 impl ProbeShape {
-    /// Probe bytes under the placement described by `node_of`.
-    fn bytes_on(&self, node_of: impl Fn(WordId) -> usize) -> u64 {
+    /// Probe bytes under `cluster`, replica-aware: a shipment is free iff
+    /// **some** replica of its word lives at the chosen destination (the
+    /// min-over-replica-choices rule). With one copy per word this is
+    /// exactly the historic `node_of(w) != node_of(dest)` test.
+    fn bytes_on(&self, cluster: &Cluster) -> u64 {
         match self {
             ProbeShape::Free => 0,
             ProbeShape::FirstHop { a, b, bytes } => {
-                if node_of(*a) != node_of(*b) {
-                    *bytes
-                } else {
+                let location = join_node_on(cluster, *a, *b);
+                if hosts_or_zero(cluster, *a, location) {
                     0
+                } else {
+                    *bytes
                 }
             }
             ProbeShape::Gather { host, shipments } => {
-                let host = node_of(*host);
+                let host = gather_node_on(cluster, *host, shipments);
                 shipments
                     .iter()
-                    .filter(|&&(w, _)| node_of(w) != host)
+                    .filter(|&&(w, _)| !hosts_or_zero(cluster, w, host))
                     .map(|&(_, bytes)| bytes)
                     .sum()
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Replica selection rules (DESIGN.md §15)
+//
+// The engine consults replicas through these four helpers only, so the
+// tie-break contract lives in one place:
+//
+// * Replica scans are ascending replica index (primary first); unplaced
+//   words evaluate at node 0, mirroring the historic `unwrap_or(0)`.
+// * `join_node_on` (intersection destination): the first replica of `b`
+//   whose node also hosts a copy of `a` (the hop is then free), else
+//   `b`'s primary.
+// * `gather_node_on` (union host): the replica of the host word
+//   minimizing the total shipped bytes; ties go to the lowest replica
+//   index.
+// * `source_node_on` (shipping source): the destination itself when a
+//   replica lives there, else the first placed replica.
+//
+// With one copy per word each helper degenerates to the historic
+// `node_of` lookup, which is what keeps r=1 bit-identical.
+// ---------------------------------------------------------------------------
+
+/// Home nodes of `w` (primary first), or node 0 when unplaced.
+fn nodes_or_zero(cluster: &Cluster, w: WordId) -> impl Iterator<Item = usize> + '_ {
+    let unplaced = cluster.node_of(w).is_none();
+    cluster.replica_nodes(w).chain(unplaced.then_some(0))
+}
+
+/// `true` when some replica of `w` lives on `node` (unplaced words live
+/// on node 0).
+fn hosts_or_zero(cluster: &Cluster, w: WordId, node: usize) -> bool {
+    nodes_or_zero(cluster, w).any(|n| n == node)
+}
+
+/// Destination of the intersection first hop: the first replica of `b`
+/// (ascending replica index) colocated with a copy of `a`, else `b`'s
+/// primary.
+fn join_node_on(cluster: &Cluster, a: WordId, b: WordId) -> usize {
+    let mut first = None;
+    for n in nodes_or_zero(cluster, b) {
+        if first.is_none() {
+            first = Some(n);
+        }
+        if hosts_or_zero(cluster, a, n) {
+            return n;
+        }
+    }
+    first.unwrap_or(0)
+}
+
+/// Union gather host: the replica of `host` minimizing total shipped
+/// bytes over `shipments`; ties to the lowest replica index.
+fn gather_node_on(cluster: &Cluster, host: WordId, shipments: &[(WordId, u64)]) -> usize {
+    let mut best: Option<(u64, usize)> = None;
+    for n in nodes_or_zero(cluster, host) {
+        let bytes: u64 = shipments
+            .iter()
+            .filter(|&&(w, _)| !hosts_or_zero(cluster, w, n))
+            .map(|&(_, b)| b)
+            .sum();
+        if best.is_none_or(|(bb, _)| bytes < bb) {
+            best = Some((bytes, n));
+        }
+    }
+    best.map_or(0, |(_, n)| n)
+}
+
+/// Source for shipping `w` to `to`: `to` itself when a replica lives
+/// there (free), else the first placed replica (primary-first).
+fn source_node_on(cluster: &Cluster, w: WordId, to: usize) -> usize {
+    if hosts_or_zero(cluster, w, to) {
+        return to;
+    }
+    nodes_or_zero(cluster, w).next().unwrap_or(0)
 }
 
 /// A query engine bound to an index and a cluster placement.
@@ -218,20 +297,24 @@ impl<'a> QueryEngine<'a> {
 
         let (a, b) = (order[0], order[1]);
         let mut transfers = Vec::new();
-        // Ship the smaller of the first two to the larger's node.
-        let mut location = self.node_of(b);
-        if self.node_of(a) != location && self.index.size_bytes(a) > 0 {
+        // Ship the smaller of the first two to a replica of the larger —
+        // preferring a replica already colocated with a copy of the
+        // smaller (free hop; `join_node_on` tie-breaks).
+        let mut location = join_node_on(self.cluster, a, b);
+        if !hosts_or_zero(self.cluster, a, location) && self.index.size_bytes(a) > 0 {
             transfers.push(Transfer {
-                from: self.node_of(a),
+                from: source_node_on(self.cluster, a, location),
                 to: location,
                 bytes: self.index.size_bytes(a),
             });
         }
         let mut result = InvertedIndex::intersect(self.index.posting(a), self.index.posting(b));
-        // Remaining keywords: forward the (shrinking) intermediate result.
+        // Remaining keywords: forward the (shrinking) intermediate result
+        // — free when any replica of `w` lives at the current location,
+        // else to `w`'s primary copy.
         for &w in &order[2..] {
-            let node = self.node_of(w);
-            if node != location {
+            if !hosts_or_zero(self.cluster, w, location) {
+                let node = nodes_or_zero(self.cluster, w).next().unwrap_or(0);
                 let bytes = (result.len() * PageId::WIRE_SIZE) as u64;
                 if bytes > 0 {
                     transfers.push(Transfer {
@@ -268,14 +351,20 @@ impl<'a> QueryEngine<'a> {
             .iter()
             .max_by_key(|&&w| (self.index.posting(w).len(), w))
             .expect("non-empty");
-        let host = self.node_of(host_word);
+        // Gather at the replica of the host word that minimises shipped
+        // bytes over the whole query (`gather_node_on` tie-breaks).
+        let shipments: Vec<(WordId, u64)> = query
+            .words
+            .iter()
+            .map(|&w| (w, self.index.size_bytes(w)))
+            .collect();
+        let host = gather_node_on(self.cluster, host_word, &shipments);
         let mut transfers = Vec::new();
         let mut result: Vec<PageId> = Vec::new();
         for &w in &query.words {
-            let node = self.node_of(w);
-            if node != host && self.index.size_bytes(w) > 0 {
+            if !hosts_or_zero(self.cluster, w, host) && self.index.size_bytes(w) > 0 {
                 transfers.push(Transfer {
-                    from: node,
+                    from: source_node_on(self.cluster, w, host),
                     to: host,
                     bytes: self.index.size_bytes(w),
                 });
@@ -342,8 +431,7 @@ impl<'a> QueryEngine<'a> {
     ///   two-keyword queries the bound is tight.
     #[must_use]
     pub fn model_probe(&self, query: &Query) -> u64 {
-        self.probe_shape(query)
-            .bytes_on(|w| self.cluster.node_of(w).unwrap_or(0))
+        self.probe_shape(query).bytes_on(self.cluster)
     }
 
     /// Sums [`Self::model_probe`] over a whole log — a placement-quality
@@ -392,11 +480,12 @@ impl<'a> QueryEngine<'a> {
         }
         match self.policy {
             AggregationPolicy::Intersection => {
-                // Same ordering rule as execute_intersection: evaluation
-                // starts at order[1]'s node.
+                // Same ordering and replica-selection rule as
+                // execute_intersection: evaluation starts where the first
+                // intersection runs.
                 let mut order: Vec<WordId> = query.words.clone();
                 order.sort_unstable_by_key(|&w| (self.index.posting(w).len(), w));
-                self.node_of(order[1])
+                join_node_on(self.cluster, order[0], order[1])
             }
             AggregationPolicy::Union => {
                 let host = *query
@@ -404,7 +493,12 @@ impl<'a> QueryEngine<'a> {
                     .iter()
                     .max_by_key(|&&w| (self.index.posting(w).len(), w))
                     .expect("len >= 2");
-                self.node_of(host)
+                let shipments: Vec<(WordId, u64)> = query
+                    .words
+                    .iter()
+                    .map(|&w| (w, self.index.size_bytes(w)))
+                    .collect();
+                gather_node_on(self.cluster, host, &shipments)
             }
         }
     }
@@ -428,7 +522,7 @@ impl<'a> QueryEngine<'a> {
         for q in log.iter() {
             let shape = self.probe_shape(q);
             for (t, cluster) in totals.iter_mut().zip(candidates) {
-                *t += shape.bytes_on(|w| cluster.node_of(w).unwrap_or(0));
+                *t += shape.bytes_on(cluster);
             }
         }
         totals

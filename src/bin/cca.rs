@@ -63,8 +63,9 @@
 use cca::algo::{
     compose_with_hashed_rest, figure4::Figure4Lp, format_controller_report,
     format_live_report, format_serving_report, greedy_placement, importance_ranking,
-    round_samples_scored, scope_subproblem, solve_relaxation, ControllerConfig, FaultPlan,
-    ObjectId, RelaxOptions, ResilienceOptions, Rung, SolveBudget, Strategy,
+    round_samples_scored, scope_subproblem, solve_relaxation, solve_resilient_replicated,
+    spread_copies, validate_replica_spec, ControllerConfig, DomainTree, FaultPlan, ObjectId,
+    RelaxOptions, ResilienceOptions, Rung, SolveBudget, Strategy,
 };
 use cca::online::{run_online, OnlineConfig};
 use cca::pipeline::{Pipeline, PipelineConfig};
@@ -100,6 +101,8 @@ struct Args {
     migration_budget: u64,
     warm_drift: u64,
     drift_epochs: Option<u64>,
+    replicas: usize,
+    domains: Option<String>,
 }
 
 impl Default for Args {
@@ -127,6 +130,8 @@ impl Default for Args {
             migration_budget: 64 * 1024,
             warm_drift: 0,
             drift_epochs: None,
+            replicas: 1,
+            domains: None,
         }
     }
 }
@@ -185,6 +190,15 @@ fn usage() -> &'static str {
                               (live only; default 0)\n\
        --drift-epochs N       drift only the first N epochs, or 'all'\n\
                               (live only; default all)\n\
+       --replicas R           copies of every object, spread across\n\
+                              distinct failure domains (place/probe/\n\
+                              serve/run/live; default 1 = exact\n\
+                              single-copy behaviour)\n\
+       --domains SPEC         failure-domain tree over the nodes:\n\
+                              'flat' (one domain per node, default),\n\
+                              'D' (D contiguous domains), or 'ZxL'\n\
+                              (Z zones of L leaf domains); requires\n\
+                              replicas <= leaf domains\n\
      exit codes: 0 ok, 1 error, 2 degraded placement, 3 infeasible placement"
 }
 
@@ -270,6 +284,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--warm-drift" => {
                 args.warm_drift = value()?.parse().map_err(|e| format!("--warm-drift: {e}"))?;
             }
+            "--replicas" => args.replicas = parse_count(flag, &value()?, 64)? as usize,
+            "--domains" => args.domains = Some(value()?),
             "--drift-epochs" => {
                 let v = value()?;
                 args.drift_epochs = if v == "all" {
@@ -312,6 +328,23 @@ fn build_pipeline(args: &Args) -> Result<Pipeline, String> {
         p.problem.set_sharding(n, args.threads());
     }
     Ok(p)
+}
+
+/// Parses and validates the replication spec against `--nodes`: the
+/// `--domains` tree (flat when omitted) with `--replicas` copies spread
+/// across it. `--replicas 0` is already rejected at parse time by
+/// [`parse_count`]; a replica count exceeding the leaf-domain count
+/// surfaces the typed [`cca::algo::ProblemError::ReplicaSpread`] here —
+/// both are usage errors (exit 1).
+fn replica_spec(args: &Args) -> Result<DomainTree, String> {
+    let tree = match &args.domains {
+        None => DomainTree::flat(args.nodes),
+        Some(spec) => {
+            DomainTree::parse(spec, args.nodes).map_err(|e| format!("--domains: {e}"))?
+        }
+    };
+    validate_replica_spec(args.replicas, &tree).map_err(|e| format!("--replicas: {e}"))?;
+    Ok(tree)
 }
 
 fn strategy(name: &str, threads: usize) -> Result<Strategy, String> {
@@ -422,6 +455,10 @@ fn exit_taxonomy(infeasible: bool, degraded: bool) -> ExitCode {
 }
 
 fn cmd_place(args: &Args) -> Result<ExitCode, String> {
+    let tree = replica_spec(args)?;
+    if args.replicas > 1 {
+        return cmd_place_replicated(args, &tree);
+    }
     if args.deadline_ms.is_some() || args.min_strategy.is_some() {
         return cmd_place_resilient(args);
     }
@@ -477,12 +514,79 @@ fn cmd_place_resilient(args: &Args) -> Result<ExitCode, String> {
     Ok(exit_taxonomy(!r.audit.feasible(), r.report.degraded))
 }
 
+/// `cca place --replicas R`: replica-aware placement through the same
+/// degradation ladder as the resilient path. The primary column comes
+/// from the ladder; the extra copies spread deterministically across
+/// distinct leaf domains of `--domains`. Saved placements use the
+/// `# cca-placement v2` format.
+fn cmd_place_replicated(args: &Args, tree: &DomainTree) -> Result<ExitCode, String> {
+    let start = Rung::parse(&args.strategy).ok_or_else(|| {
+        format!(
+            "unknown strategy {} (lprr|partial-lprr|greedy|hash)",
+            args.strategy
+        )
+    })?;
+    let floor = match &args.min_strategy {
+        None => Rung::Hash,
+        Some(s) => Rung::parse(s)
+            .ok_or_else(|| format!("unknown min-strategy {s} (lprr|partial-lprr|greedy|hash)"))?,
+    };
+    let p = build_pipeline(args)?;
+    let options = ResilienceOptions {
+        budget: SolveBudget {
+            deadline: args.deadline_ms.map(Duration::from_millis),
+            ..SolveBudget::default()
+        },
+        start,
+        floor,
+        partial_scope: args.scope,
+        threads: args.threads(),
+        ..ResilienceOptions::default()
+    };
+    let r = solve_resilient_replicated(
+        &p.problem,
+        &options,
+        &FaultPlan::default(),
+        tree,
+        args.replicas,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("strategy:   {} (replicated x{})", r.base.report.selected, args.replicas);
+    println!("model cost: {:.2}", r.cost);
+    println!(
+        "replicas:   {} copies across {} leaf domains (spread valid: {})",
+        args.replicas,
+        tree.num_domains(),
+        r.spread_valid
+    );
+    print!("{}", r.base.report.summary());
+    print!("{}", r.base.audit.report());
+    let loads = r.replica.replica_loads(&r.base.effective_problem);
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    println!("per-node copy-inclusive loads (bytes; mean {mean:.0}):");
+    for (k, load) in loads.iter().enumerate() {
+        println!("  node {k:>3}: {load:>12} ({:.2}x mean)", *load as f64 / mean);
+    }
+    if let Some(path) = &args.out {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        cca::algo::write_replica_placement(&mut file, &r.base.effective_problem, &r.replica)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote replica placement to {path}");
+    }
+    Ok(exit_taxonomy(
+        !r.base.audit.feasible() || !r.spread_valid,
+        r.base.report.degraded,
+    ))
+}
+
 /// `cca probe`: LP-relax once, round `--candidates` placements from the
 /// same fractional solution, rank all of them with **one** batched probe
 /// over the query log ([`Pipeline::probe_batch`]), and keep the candidate
 /// that ships the fewest bytes. Ties break by model cost, then by
 /// candidate index, so the winner is deterministic for a fixed seed.
 fn cmd_probe(args: &Args) -> Result<ExitCode, String> {
+    let tree = replica_spec(args)?;
     let p = build_pipeline(args)?;
     let threads = args.threads();
     let scope_size = args
@@ -526,6 +630,32 @@ fn cmd_probe(args: &Args) -> Result<ExitCode, String> {
     let placement = full.into_iter().nth(best).expect("candidates >= 1");
     let audit = cca::algo::audit_placement(&p.problem, &placement, 5);
     print!("{}", audit.report());
+    if args.replicas > 1 {
+        // The probe ranks single-copy candidates; the extra copies of
+        // the winner spread deterministically afterwards.
+        let rp = spread_copies(
+            &p.problem,
+            &tree,
+            placement,
+            args.replicas,
+            args.replicas as f64,
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "replicas:   {} copies across {} leaf domains (spread valid: {})",
+            args.replicas,
+            tree.num_domains(),
+            rp.spread_valid(&tree)
+        );
+        if let Some(path) = &args.out {
+            let mut file =
+                std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            cca::algo::write_replica_placement(&mut file, &p.problem, &rp)
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote replica placement to {path}");
+        }
+        return Ok(exit_taxonomy(!audit.feasible(), false));
+    }
     if let Some(path) = &args.out {
         save_placement(path, &p.problem, &placement)?;
     }
@@ -540,6 +670,7 @@ fn cmd_probe(args: &Args) -> Result<ExitCode, String> {
 /// for a fixed seed across any `--threads`/`--shards`, absent
 /// `--deadline-ms`); the human summary goes to stderr.
 fn cmd_run(args: &Args) -> Result<ExitCode, String> {
+    let tree = replica_spec(args)?;
     let p = build_pipeline(args)?;
     let controller = ControllerConfig {
         threads: args.threads(),
@@ -548,6 +679,10 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
             deadline: args.deadline_ms.map(Duration::from_millis),
             ..SolveBudget::default()
         },
+        // `--domains` upgrades the robustness gate to probe whole-domain
+        // loss; absent the flag the probe is the exact historic
+        // heaviest-node check.
+        domains: args.domains.as_ref().map(|_| tree.clone()),
         ..ControllerConfig::default()
     };
     let config = OnlineConfig {
@@ -568,12 +703,27 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     );
     let outcome = run_online(&p, &config);
     let text = format_controller_report(&outcome.report);
-    emit_report(
-        &text,
-        &outcome.report.summary(),
-        args.out.as_deref(),
-        "controller report",
-    )?;
+    let mut summary = outcome.report.summary();
+    if args.replicas > 1 {
+        // The controller optimizes the primary column; the extra copies
+        // of the final placement spread deterministically afterwards
+        // (stderr only — the stdout report stays byte-identical).
+        let rp = spread_copies(
+            &outcome.problem,
+            &tree,
+            outcome.placement.clone(),
+            args.replicas,
+            args.replicas as f64,
+        )
+        .map_err(|e| e.to_string())?;
+        summary.push_str(&format!(
+            "final placement replicated x{} across {} leaf domains (spread valid: {})\n",
+            args.replicas,
+            tree.num_domains(),
+            rp.spread_valid(&tree)
+        ));
+    }
+    emit_report(&text, &summary, args.out.as_deref(), "controller report")?;
     Ok(exit_taxonomy(
         !outcome.report.final_feasible,
         outcome.report.degraded(),
@@ -589,10 +739,32 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
 /// and `--inflight`; the human summary and wall-clock throughput go to
 /// stderr.
 fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let tree = replica_spec(args)?;
     let p = build_pipeline(args)?;
     let placement = greedy_placement(&p.problem);
     let audit = cca::algo::audit_placement(&p.problem, &placement, 5);
-    let cluster = p.cluster_for(&placement);
+    // With one copy this is exactly `cluster_for` (the report is
+    // byte-identical to pre-replication builds); with more, reads route
+    // to the cheapest replica.
+    let cluster = if args.replicas > 1 {
+        let rp = spread_copies(
+            &p.problem,
+            &tree,
+            placement.clone(),
+            args.replicas,
+            args.replicas as f64,
+        )
+        .map_err(|e| e.to_string())?;
+        eprintln!(
+            "replicating {} copies across {} leaf domains (spread valid: {})",
+            args.replicas,
+            tree.num_domains(),
+            rp.spread_valid(&tree)
+        );
+        p.cluster_for_replicas(&rp)
+    } else {
+        p.cluster_for(&placement)
+    };
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5e12_7e00);
     let stream = p.workload.model.sample_log(args.queries, &mut rng);
     let config = ServeConfig {
@@ -642,6 +814,7 @@ fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
 /// controller's solves stay un-deadlined, keeping the run
 /// deterministic).
 fn cmd_live(args: &Args) -> Result<ExitCode, String> {
+    let tree = replica_spec(args)?;
     let p = build_pipeline(args)?;
     let controller = ControllerConfig {
         threads: args.threads(),
@@ -650,6 +823,10 @@ fn cmd_live(args: &Args) -> Result<ExitCode, String> {
         // move is worthwhile iff it pays for its bytes within the epochs
         // this run will actually serve.
         horizon_epochs: args.epochs,
+        // `--domains` upgrades the robustness gate to probe whole-domain
+        // loss; absent the flag the probe is the exact historic
+        // heaviest-node check.
+        domains: args.domains.as_ref().map(|_| tree.clone()),
         ..ControllerConfig::default()
     };
     let config = LiveConfig {
@@ -663,6 +840,8 @@ fn cmd_live(args: &Args) -> Result<ExitCode, String> {
         threads: args.threads(),
         deadline_ms: args.deadline_ms,
         migration_budget: args.migration_budget,
+        replicas: args.replicas,
+        domains: args.domains.as_ref().map(|_| tree.clone()),
         controller,
     };
     eprintln!(

@@ -223,6 +223,27 @@ impl Pipeline {
         Cluster::with_assignment(self.config.num_nodes, &self.index, &assignment)
     }
 
+    /// Materialises a replicated placement as a cluster: one lookup column
+    /// per copy. With one replica this is exactly
+    /// [`Pipeline::cluster_for`] on the primary column, so single-copy
+    /// routing is unchanged.
+    #[must_use]
+    pub fn cluster_for_replicas(&self, rp: &cca_core::ReplicaPlacement) -> Cluster {
+        if rp.replicas() == 1 {
+            return self.cluster_for(rp.primary());
+        }
+        let columns: Vec<Vec<usize>> = (0..rp.replicas())
+            .map(|j| {
+                let mut column = vec![usize::MAX; self.workload.vocabulary.len()];
+                for (obj_idx, &w) in self.word_of_object.iter().enumerate() {
+                    column[w.index()] = rp.node_of(ObjectId(obj_idx as u32), j);
+                }
+                column
+            })
+            .collect();
+        Cluster::with_replica_assignment(self.config.num_nodes, &self.index, &columns)
+    }
+
     /// Replays the query log against a placement and measures communication.
     #[must_use]
     pub fn replay(&self, placement: &Placement) -> ExecutionStats {

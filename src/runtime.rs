@@ -38,7 +38,10 @@ use crate::online::epoch_observation;
 use crate::pipeline::Pipeline;
 use crate::serve::{serve, ServeConfig, SERVICE_BYTE_NS};
 use cca_core::controller::{Controller, ControllerConfig, ControllerReport, EpochOutcome};
-use cca_core::{greedy_placement, CcaProblem, LiveReport, Placement, ServingReport};
+use cca_core::{
+    greedy_placement, spread_copies, validate_replica_spec, CcaProblem, DomainTree, LiveReport,
+    Placement, ServingReport,
+};
 use cca_hash::md5;
 use cca_rand::rngs::StdRng;
 use cca_rand::SeedableRng;
@@ -77,6 +80,16 @@ pub struct LiveConfig {
     pub deadline_ms: Option<u64>,
     /// Per-epoch migration byte budget: no epoch ships more than this.
     pub migration_budget: u64,
+    /// Copies of every object the serving cluster holds. `1` (the
+    /// default) is the exact single-copy runtime — reports are
+    /// bit-identical to builds without replication. With `r > 1` the
+    /// controller still optimizes the primary column; the serving
+    /// overlay re-spreads the extra copies across `domains` after every
+    /// migration slice, and reads route to the cheapest replica.
+    pub replicas: usize,
+    /// Failure-domain tree the copies spread across (`None` = flat: one
+    /// leaf domain per node).
+    pub domains: Option<DomainTree>,
     /// Controller tuning. `migration_budget_per_epoch` is overwritten
     /// with [`LiveConfig::migration_budget`] — the live runtime always
     /// paces migrations.
@@ -96,6 +109,8 @@ impl Default for LiveConfig {
             threads: 1,
             deadline_ms: None,
             migration_budget: 64 * 1024,
+            replicas: 1,
+            domains: None,
             controller: ControllerConfig::default(),
         }
     }
@@ -142,17 +157,42 @@ pub fn run_live(pipeline: &Pipeline, config: &LiveConfig) -> LiveOutcome {
 
 /// [`run_live`] with a per-epoch observer — used by tests to watch
 /// migration pacing and per-epoch accounting.
+///
+/// # Panics
+///
+/// Panics if `config.replicas` cannot spread across `config.domains`
+/// (validate with [`cca_core::validate_replica_spec`] first — the CLI
+/// does).
 pub fn run_live_with(
     pipeline: &Pipeline,
     config: &LiveConfig,
     mut observe: impl FnMut(&EpochRecord),
 ) -> LiveOutcome {
     let problem = &pipeline.problem;
+    let tree = config
+        .domains
+        .clone()
+        .unwrap_or_else(|| DomainTree::flat(problem.num_nodes()));
+    validate_replica_spec(config.replicas.max(1), &tree).expect("replica spec must be valid");
+    let replicas = config.replicas.max(1);
+    // The serving overlay: with one copy this is exactly `cluster_for`
+    // (bit-identical reports); with more, the extra copies are re-spread
+    // deterministically from the controller's primary placement, so the
+    // overlay follows every migration without its own state.
+    let cluster_of = |primary: &Placement| {
+        if replicas == 1 {
+            pipeline.cluster_for(primary)
+        } else {
+            let rp = spread_copies(problem, &tree, primary.clone(), replicas, replicas as f64)
+                .expect("spec validated above");
+            pipeline.cluster_for_replicas(&rp)
+        }
+    };
     let initial = greedy_placement(problem);
     let mut controller_config = config.controller.clone();
     controller_config.migration_budget_per_epoch = Some(config.migration_budget);
     let mut controller = Controller::new(problem, initial, controller_config);
-    let mut cluster = pipeline.cluster_for(controller.placement());
+    let mut cluster = cluster_of(controller.placement());
 
     let mut model = pipeline.workload.model.clone();
     let drift = DriftConfig {
@@ -173,7 +213,7 @@ pub fn run_live_with(
         if let Some(slice) = controller.advance_migration() {
             migrated = slice.bytes;
             if slice.moves > 0 {
-                cluster = pipeline.cluster_for(controller.placement());
+                cluster = cluster_of(controller.placement());
             }
         }
 

@@ -794,3 +794,126 @@ fn live_flags_reject_bad_input() {
     assert_eq!(code, 1);
     assert!(stderr.contains("--warm-drift"), "stderr: {stderr}");
 }
+
+// ---------------------------------------------------------------------
+// Replica flags (`--replicas` / `--domains`, DESIGN.md §15).
+// ---------------------------------------------------------------------
+
+/// `--replicas 0` dies at parse time through the shared count layer,
+/// with the uniform "must be at least 1" message — on every command
+/// that accepts the flag.
+#[test]
+fn replicas_zero_rejected_at_parse_time() {
+    for cmd in ["place", "probe", "serve", "run", "live"] {
+        let (code, _, stderr) = run_code(&[cmd, "--preset", "tiny", "--replicas", "0"]);
+        assert_eq!(code, 1, "{cmd}: wrong exit code");
+        assert!(
+            stderr.contains("--replicas must be at least 1"),
+            "{cmd} stderr: {stderr}"
+        );
+    }
+}
+
+/// More replicas than leaf domains is unsatisfiable (the spread
+/// invariant needs one distinct leaf per copy): typed error, usage exit,
+/// before any pipeline work — on every command that accepts the flags.
+#[test]
+fn replicas_exceeding_domains_rejected_everywhere() {
+    for cmd in ["place", "probe", "serve", "run", "live"] {
+        let (code, _, stderr) = run_code(&[
+            cmd, "--preset", "tiny", "--nodes", "4", "--replicas", "3", "--domains", "2",
+        ]);
+        assert_eq!(code, 1, "{cmd}: wrong exit code");
+        assert!(
+            stderr.contains("cannot spread 3 replicas across 2 leaf domains"),
+            "{cmd} stderr: {stderr}"
+        );
+    }
+}
+
+/// Malformed `--domains` specs fail with the parse error, uniformly.
+#[test]
+fn domains_flag_rejects_bad_specs() {
+    // Not a spec at all.
+    let (code, _, stderr) =
+        run_code(&["place", "--preset", "tiny", "--nodes", "4", "--domains", "many"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--domains"), "stderr: {stderr}");
+
+    // More leaf domains than nodes.
+    let (code, _, stderr) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "4", "--domains", "5x2", "--replicas", "2",
+    ]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--domains"), "stderr: {stderr}");
+
+    // Zero domains.
+    let (code, _, stderr) =
+        run_code(&["serve", "--preset", "tiny", "--nodes", "4", "--domains", "0"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("--domains"), "stderr: {stderr}");
+}
+
+/// The r=1 equivalence contract at the CLI surface: `--replicas 1
+/// --domains flat` is the default, so spelling it out must not change a
+/// byte of output anywhere.
+#[test]
+fn replicas_one_flat_tree_is_byte_identical_to_default() {
+    let base = [
+        "place", "--preset", "tiny", "--nodes", "3", "--scope", "40",
+        "--strategy", "greedy", "--seed", "7",
+    ];
+    let reference = run_code(&base);
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--replicas", "1", "--domains", "flat"]);
+    let explicit = run_code(&args);
+    assert_eq!(explicit.0, reference.0, "exit code changed");
+    assert_eq!(explicit.1, reference.1, "--replicas 1 --domains flat changed stdout");
+}
+
+/// `place --replicas 2` reports the replica spread and persists a
+/// v2 placement file that the reader round-trips.
+#[test]
+fn place_replicated_saves_v2_placement() {
+    let dir = std::env::temp_dir().join(format!("cca-cli-replica-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("replicas.tsv");
+    let path_str = path.to_str().expect("utf-8 path");
+
+    let (code, stdout, stderr) = run_code(&[
+        "place", "--preset", "tiny", "--nodes", "4", "--scope", "40",
+        "--strategy", "greedy", "--replicas", "2", "--domains", "2",
+        "--out", path_str,
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("replicated x2"), "stdout: {stdout}");
+    assert!(stdout.contains("spread valid: true"), "stdout: {stdout}");
+    assert!(stdout.contains("copy-inclusive loads"), "stdout: {stdout}");
+    let saved = std::fs::read_to_string(&path).expect("placement file written");
+    assert!(
+        saved.starts_with("# cca-placement v2"),
+        "replicated placements must use the v2 format: {}",
+        saved.lines().next().unwrap_or("")
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `serve --replicas 2` runs the replicated read path end to end: the
+/// stdout report keeps its shape and counters, the replica summary goes
+/// to stderr only.
+#[test]
+fn serve_replicated_reports_consistently() {
+    let (code, stdout, stderr) = run_code(&[
+        "serve", "--preset", "tiny", "--nodes", "4", "--seed", "11",
+        "--queries", "200", "--replicas", "2", "--domains", "2",
+    ]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let report = cca::algo::read_serving_report(stdout.as_bytes()).expect("parseable report");
+    assert_eq!(report.queries, 200);
+    assert!(report.counters_consistent());
+    assert!(
+        stderr.contains("replicating 2 copies across 2 leaf domains"),
+        "stderr: {stderr}"
+    );
+}

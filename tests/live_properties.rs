@@ -150,6 +150,8 @@ fn live_pacing_and_accounting_hold_for_every_scenario() {
                 threads: 2,
                 deadline_ms: c.deadline_ms(),
                 migration_budget: c.budget,
+                replicas: 1,
+                domains: None,
                 controller: ControllerConfig {
                     // A short cadence so even shrunk runs reach the gate.
                     evaluate_every: 4,
